@@ -1,0 +1,288 @@
+// Package blast implements a BLAST-style nucleotide local-alignment
+// search — the workload the paper benchmarks on its set-top box (NCBI
+// BLASTALL/BLASTCL3 ported to the ST7109). The proprietary binary and
+// its databases are unavailable, so this is a from-scratch seed-and-
+// extend kernel over synthetic databases: exact k-mer seeding on the
+// query, ungapped X-drop extension, per-diagonal deduplication. It is a
+// genuinely CPU-bound database scan with the same shape of work as
+// blastn, which is what Tables II and III measure.
+package blast
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Params tunes the search.
+type Params struct {
+	// K is the seed (word) length. blastn's default is 11.
+	K int
+	// Match and Mismatch are the ungapped scoring values (+1/-3 are
+	// blastn defaults).
+	Match, Mismatch int
+	// XDrop stops extension once the running score falls this far below
+	// the best seen.
+	XDrop int
+	// MinScore is the reporting threshold.
+	MinScore int
+}
+
+// DefaultParams returns blastn-like defaults.
+func DefaultParams() Params {
+	return Params{K: 11, Match: 1, Mismatch: -3, XDrop: 20, MinScore: 20}
+}
+
+// Validate reports parameter problems.
+func (p Params) Validate() error {
+	switch {
+	case p.K < 4 || p.K > 31:
+		return fmt.Errorf("blast: word size %d out of range [4,31]", p.K)
+	case p.Match <= 0:
+		return errors.New("blast: match score must be positive")
+	case p.Mismatch >= 0:
+		return errors.New("blast: mismatch score must be negative")
+	case p.XDrop <= 0:
+		return errors.New("blast: X-drop must be positive")
+	case p.MinScore <= 0:
+		return errors.New("blast: minimum score must be positive")
+	}
+	return nil
+}
+
+// Sequence is one database entry.
+type Sequence struct {
+	ID   string
+	Data []byte // ACGT
+}
+
+// Hit is one reported local alignment.
+type Hit struct {
+	SeqID      string
+	QueryStart int
+	SubjStart  int
+	Length     int
+	Score      int
+}
+
+var alphabet = []byte("ACGT")
+
+// RandomDB generates n random sequences with lengths uniform in
+// [minLen, maxLen].
+func RandomDB(rng *rand.Rand, n, minLen, maxLen int) []Sequence {
+	db := make([]Sequence, n)
+	for i := range db {
+		length := minLen
+		if maxLen > minLen {
+			length += rng.Intn(maxLen - minLen + 1)
+		}
+		db[i] = Sequence{ID: fmt.Sprintf("seq%05d", i), Data: RandomSeq(rng, length)}
+	}
+	return db
+}
+
+// RandomSeq generates one random nucleotide string.
+func RandomSeq(rng *rand.Rand, length int) []byte {
+	s := make([]byte, length)
+	for i := range s {
+		s[i] = alphabet[rng.Intn(4)]
+	}
+	return s
+}
+
+// PlantHit copies query[qStart:qStart+length] into db[seqIdx] at
+// subjStart with the given number of point mutations, creating a known
+// alignment for tests. It panics on out-of-range coordinates (test
+// helper).
+func PlantHit(rng *rand.Rand, db []Sequence, query []byte, seqIdx, qStart, subjStart, length, mutations int) {
+	target := db[seqIdx].Data
+	copy(target[subjStart:subjStart+length], query[qStart:qStart+length])
+	for i := 0; i < mutations; i++ {
+		pos := subjStart + rng.Intn(length)
+		old := target[pos]
+		for {
+			b := alphabet[rng.Intn(4)]
+			if b != old {
+				target[pos] = b
+				break
+			}
+		}
+	}
+}
+
+// code maps a nucleotide to 2 bits; returns 4 for anything else.
+func code(b byte) uint64 {
+	switch b {
+	case 'A':
+		return 0
+	case 'C':
+		return 1
+	case 'G':
+		return 2
+	case 'T':
+		return 3
+	default:
+		return 4
+	}
+}
+
+// queryIndex maps every k-mer of the query to its start offsets.
+type queryIndex struct {
+	k    int
+	mask uint64
+	pos  map[uint64][]int32
+}
+
+func buildIndex(query []byte, k int) *queryIndex {
+	idx := &queryIndex{k: k, mask: 1<<(2*uint(k)) - 1, pos: make(map[uint64][]int32)}
+	var kmer uint64
+	valid := 0
+	for i, b := range query {
+		c := code(b)
+		if c > 3 {
+			valid = 0
+			continue
+		}
+		kmer = (kmer<<2 | c) & idx.mask
+		valid++
+		if valid >= k {
+			idx.pos[kmer] = append(idx.pos[kmer], int32(i-k+1))
+		}
+	}
+	return idx
+}
+
+// Search scans db for local alignments with query.
+func Search(query []byte, db []Sequence, p Params) ([]Hit, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(query) < p.K {
+		return nil, fmt.Errorf("blast: query shorter than word size %d", p.K)
+	}
+	idx := buildIndex(query, p.K)
+	var hits []Hit
+	for _, seq := range db {
+		hits = append(hits, searchOne(query, seq, idx, p)...)
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		if hits[i].SeqID != hits[j].SeqID {
+			return hits[i].SeqID < hits[j].SeqID
+		}
+		return hits[i].SubjStart < hits[j].SubjStart
+	})
+	return hits, nil
+}
+
+func searchOne(query []byte, seq Sequence, idx *queryIndex, p Params) []Hit {
+	subject := seq.Data
+	if len(subject) < p.K {
+		return nil
+	}
+	// Best extent already reported per diagonal, to suppress the many
+	// overlapping seeds of one alignment. diag = subjPos - queryPos,
+	// shifted to be non-negative.
+	covered := make(map[int32]int32) // diag → subject end of last extension
+	var hits []Hit
+	var kmer uint64
+	valid := 0
+	for i := 0; i < len(subject); i++ {
+		c := code(subject[i])
+		if c > 3 {
+			valid = 0
+			continue
+		}
+		kmer = (kmer<<2 | c) & idx.mask
+		valid++
+		if valid < p.K {
+			continue
+		}
+		starts := idx.pos[kmer]
+		if len(starts) == 0 {
+			continue
+		}
+		sStart := i - p.K + 1
+		for _, qStart32 := range starts {
+			qStart := int(qStart32)
+			diag := int32(sStart - qStart)
+			if end, ok := covered[diag]; ok && int32(sStart) < end {
+				continue // inside an already-extended alignment
+			}
+			hit, subjEnd := extend(query, subject, qStart, sStart, p)
+			covered[diag] = int32(subjEnd)
+			if hit.Score >= p.MinScore {
+				hit.SeqID = seq.ID
+				hits = append(hits, hit)
+			}
+		}
+	}
+	return hits
+}
+
+// extend grows the seed ungapped in both directions with X-drop and
+// returns the best-scoring extent plus the subject end coordinate of the
+// exploration (for diagonal suppression).
+func extend(query, subject []byte, qStart, sStart int, p Params) (Hit, int) {
+	// Seed score.
+	score := p.K * p.Match
+	best := score
+	// Right extension.
+	qr, sr := qStart+p.K, sStart+p.K
+	bestQR := qr
+	for qr < len(query) && sr < len(subject) {
+		if query[qr] == subject[sr] {
+			score += p.Match
+		} else {
+			score += p.Mismatch
+		}
+		qr++
+		sr++
+		if score > best {
+			best = score
+			bestQR = qr
+		}
+		if best-score > p.XDrop {
+			break
+		}
+	}
+	exploredEnd := sr
+	// Left extension from the seed.
+	score = best
+	ql, sl := qStart, sStart
+	bestQL, bestSL := ql, sl
+	for ql > 0 && sl > 0 {
+		if query[ql-1] == subject[sl-1] {
+			score += p.Match
+		} else {
+			score += p.Mismatch
+		}
+		ql--
+		sl--
+		if score > best {
+			best = score
+			bestQL, bestSL = ql, sl
+		}
+		if best-score > p.XDrop {
+			break
+		}
+	}
+	return Hit{
+		QueryStart: bestQL,
+		SubjStart:  bestSL,
+		Length:     bestQR - bestQL,
+		Score:      best,
+	}, exploredEnd
+}
+
+// DBBytes sums the database's sequence lengths.
+func DBBytes(db []Sequence) int {
+	total := 0
+	for _, s := range db {
+		total += len(s.Data)
+	}
+	return total
+}

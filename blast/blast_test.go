@@ -1,0 +1,274 @@
+package blast
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestExactMatchFound(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	query := RandomSeq(rng, 100)
+	db := RandomDB(rng, 5, 500, 500)
+	// Plant query[20:80] at position 100 of sequence 2, no mutations.
+	PlantHit(rng, db, query, 2, 20, 100, 60, 0)
+	hits, err := Search(query, db, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("planted exact match not found")
+	}
+	top := hits[0]
+	if top.SeqID != "seq00002" {
+		t.Fatalf("top hit in %s, want seq00002", top.SeqID)
+	}
+	if top.Score < 60 {
+		t.Fatalf("score %d < planted length 60", top.Score)
+	}
+	if top.Length < 60 {
+		t.Fatalf("length %d < 60", top.Length)
+	}
+	// The alignment must actually match at the reported coordinates.
+	q := query[top.QueryStart : top.QueryStart+top.Length]
+	var subj []byte
+	for _, s := range db {
+		if s.ID == top.SeqID {
+			subj = s.Data[top.SubjStart : top.SubjStart+top.Length]
+		}
+	}
+	matches := 0
+	for i := range q {
+		if q[i] == subj[i] {
+			matches++
+		}
+	}
+	if matches < 60 {
+		t.Fatalf("only %d matching columns in reported alignment", matches)
+	}
+}
+
+func TestMutatedMatchStillFound(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	query := RandomSeq(rng, 200)
+	db := RandomDB(rng, 10, 1000, 1000)
+	PlantHit(rng, db, query, 4, 50, 300, 120, 5) // ~4% divergence
+	hits, err := Search(query, db, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, h := range hits {
+		if h.SeqID == "seq00004" && h.Score >= 50 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("mutated hit not recovered; hits: %+v", hits)
+	}
+}
+
+func TestNoSpuriousStrongHits(t *testing.T) {
+	// Random 100-mer vs random DB: chance 11-mer seeds occur, but no
+	// high-scoring alignments should survive.
+	rng := rand.New(rand.NewSource(3))
+	query := RandomSeq(rng, 100)
+	db := RandomDB(rng, 20, 2000, 2000)
+	p := DefaultParams()
+	p.MinScore = 40
+	hits, err := Search(query, db, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 0 {
+		t.Fatalf("random data produced %d hits ≥40: %+v", len(hits), hits[0])
+	}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	query := RandomSeq(rng, 150)
+	db := RandomDB(rng, 8, 800, 1200)
+	PlantHit(rng, db, query, 1, 10, 50, 80, 2)
+	h1, _ := Search(query, db, DefaultParams())
+	h2, _ := Search(query, db, DefaultParams())
+	if !reflect.DeepEqual(h1, h2) {
+		t.Fatal("search is not deterministic")
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	bad := []Params{
+		{K: 2, Match: 1, Mismatch: -1, XDrop: 1, MinScore: 1},
+		{K: 11, Match: 0, Mismatch: -1, XDrop: 1, MinScore: 1},
+		{K: 11, Match: 1, Mismatch: 1, XDrop: 1, MinScore: 1},
+		{K: 11, Match: 1, Mismatch: -1, XDrop: 0, MinScore: 1},
+		{K: 11, Match: 1, Mismatch: -1, XDrop: 1, MinScore: 0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Search([]byte("ACGT"), nil, DefaultParams()); err == nil {
+		t.Fatal("query shorter than K accepted")
+	}
+}
+
+func TestSplitPartitionsWholeDB(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	db := RandomDB(rng, 17, 10, 20)
+	query := RandomSeq(rng, 50)
+	units := Split(query, db, DefaultParams(), 5)
+	if len(units) != 5 {
+		t.Fatalf("units = %d", len(units))
+	}
+	total := 0
+	for _, u := range units {
+		total += len(u.DB)
+	}
+	if total != 17 {
+		t.Fatalf("split covers %d of 17 sequences", total)
+	}
+	// Degenerate k values.
+	if got := Split(query, db, DefaultParams(), 0); len(got) != 1 {
+		t.Fatal("k=0 should yield one unit")
+	}
+	if got := Split(query, db, DefaultParams(), 100); len(got) != 17 {
+		t.Fatalf("k>len(db) should cap at len(db), got %d", len(got))
+	}
+}
+
+// Property: splitting never changes the union of hits (hit set is
+// partition-invariant up to ordering).
+func TestSplitInvarianceProperty(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		query := RandomSeq(rng, 80)
+		db := RandomDB(rng, 6, 300, 500)
+		PlantHit(rng, db, query, rng.Intn(6), 5, 40, 60, 1)
+		p := DefaultParams()
+		whole, err := Search(query, db, p)
+		if err != nil {
+			return false
+		}
+		k := int(kRaw)%6 + 1
+		var parts []Hit
+		for _, u := range Split(query, db, p, k) {
+			hs, err := u.Run()
+			if err != nil {
+				return false
+			}
+			parts = append(parts, hs...)
+		}
+		if len(whole) != len(parts) {
+			return false
+		}
+		seen := make(map[Hit]int)
+		for _, h := range whole {
+			seen[h]++
+		}
+		for _, h := range parts {
+			seen[h]--
+		}
+		for _, c := range seen {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkUnitEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	u := WorkUnit{
+		ID:     7,
+		Query:  RandomSeq(rng, 60),
+		DB:     RandomDB(rng, 3, 40, 80),
+		Params: DefaultParams(),
+	}
+	raw, err := u.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeWorkUnit(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*got, u) {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", *got, u)
+	}
+}
+
+func TestWorkUnitDecodeTruncated(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	u := WorkUnit{Query: RandomSeq(rng, 30), DB: RandomDB(rng, 2, 20, 20), Params: DefaultParams()}
+	raw, _ := u.Encode()
+	for _, cut := range []int{0, 3, 10, len(raw) - 1} {
+		if _, err := DecodeWorkUnit(raw[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestHitsEncodeDecodeRoundTrip(t *testing.T) {
+	hits := []Hit{
+		{SeqID: "seq00001", QueryStart: 3, SubjStart: 99, Length: 42, Score: 38},
+		{SeqID: "x", QueryStart: 0, SubjStart: 0, Length: 11, Score: 11},
+	}
+	got, err := DecodeHits(EncodeHits(hits))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, hits) {
+		t.Fatalf("mismatch: %+v vs %+v", got, hits)
+	}
+	empty, err := DecodeHits(EncodeHits(nil))
+	if err != nil || len(empty) != 0 {
+		t.Fatal("empty hits round trip failed")
+	}
+}
+
+func TestCostCellsScalesWithDB(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	q := RandomSeq(rng, 100)
+	small := WorkUnit{Query: q, DB: RandomDB(rng, 2, 100, 100)}
+	large := WorkUnit{Query: q, DB: RandomDB(rng, 20, 100, 100)}
+	if large.CostCells() != 10*small.CostCells() {
+		t.Fatalf("cost not linear in DB size: %d vs %d", large.CostCells(), small.CostCells())
+	}
+}
+
+func TestNonACGTSkipped(t *testing.T) {
+	// Ns in either sequence must not crash or produce seeds through them.
+	query := []byte("ACGTACGTACGTNNNNACGTACGTACGT")
+	db := []Sequence{{ID: "s", Data: []byte("TTTTACGTACGTACGTNNNNTTTTTTTT")}}
+	p := DefaultParams()
+	p.K = 8
+	p.MinScore = 8
+	if _, err := Search(query, db, p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSearch100x1M(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	query := RandomSeq(rng, 100)
+	db := RandomDB(rng, 100, 10000, 10000) // 1 Mbase
+	p := DefaultParams()
+	b.SetBytes(int64(DBBytes(db)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Search(query, db, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

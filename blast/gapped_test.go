@@ -1,0 +1,136 @@
+package blast
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestRefineExactMatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	query := RandomSeq(rng, 80)
+	subject := make([]byte, 300)
+	copy(subject, RandomSeq(rng, 300))
+	copy(subject[100:180], query) // exact copy
+
+	hit := Hit{SeqID: "s", QueryStart: 0, SubjStart: 100, Length: 80, Score: 80}
+	a, err := Refine(query, subject, hit, DefaultGapParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Identity != 1 {
+		t.Fatalf("identity = %v", a.Identity)
+	}
+	if len(a.Ops) != 1 || a.Ops[0].Op != OpMatch || a.Ops[0].Len != 80 {
+		t.Fatalf("cigar = %s", a.Cigar())
+	}
+	if a.Score != 80 { // 80 matches × +1
+		t.Fatalf("score = %d", a.Score)
+	}
+	if a.QueryStart != 0 || a.SubjStart != 100 {
+		t.Fatalf("coords %d/%d", a.QueryStart, a.SubjStart)
+	}
+}
+
+func TestRefineFindsGap(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	query := RandomSeq(rng, 90)
+	// Subject = query with 3 bases deleted in the middle: the gapped
+	// aligner must bridge with a 3-column insert (gap in subject).
+	subject := make([]byte, 0, 300)
+	subject = append(subject, RandomSeq(rng, 100)...)
+	subject = append(subject, query[:40]...)
+	subject = append(subject, query[43:]...) // skip 3 query bases
+	subject = append(subject, RandomSeq(rng, 100)...)
+
+	// Seed: the first exact 40-mer.
+	hit := Hit{SeqID: "s", QueryStart: 0, SubjStart: 100, Length: 40, Score: 40}
+	a, err := Refine(query, subject, hit, DefaultGapParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(a.Cigar(), "3I") {
+		t.Fatalf("cigar %s does not bridge the 3-base gap", a.Cigar())
+	}
+	// Gapped score: 87 matches − open(5) − 3×extend(2) = 76.
+	if a.Score != 87-5-6 {
+		t.Fatalf("score = %d, want 76", a.Score)
+	}
+	if a.QueryLen != 90 || a.SubjLen != 87 {
+		t.Fatalf("aligned spans %d/%d, want 90/87", a.QueryLen, a.SubjLen)
+	}
+	if a.Identity < 0.95 {
+		t.Fatalf("identity = %v", a.Identity)
+	}
+}
+
+func TestRefineDeletionInQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	full := RandomSeq(rng, 90)
+	// Query missing 2 bases that the subject has: a 'D' run.
+	query := append(append([]byte{}, full[:50]...), full[52:]...)
+	subject := make([]byte, 0, 250)
+	subject = append(subject, RandomSeq(rng, 80)...)
+	subject = append(subject, full...)
+	subject = append(subject, RandomSeq(rng, 80)...)
+
+	hit := Hit{SeqID: "s", QueryStart: 0, SubjStart: 80, Length: 50, Score: 50}
+	a, err := Refine(query, subject, hit, DefaultGapParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(a.Cigar(), "2D") {
+		t.Fatalf("cigar %s does not show the subject-only bases", a.Cigar())
+	}
+}
+
+func TestRefineEndToEndAfterSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	query := RandomSeq(rng, 120)
+	db := RandomDB(rng, 4, 600, 600)
+	PlantHit(rng, db, query, 1, 10, 200, 100, 2)
+	hits, err := Search(query, db, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("no seed hits")
+	}
+	top := hits[0]
+	var subject []byte
+	for _, s := range db {
+		if s.ID == top.SeqID {
+			subject = s.Data
+		}
+	}
+	a, err := Refine(query, subject, top, DefaultGapParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Score < top.Score {
+		t.Fatalf("gapped score %d below ungapped %d", a.Score, top.Score)
+	}
+	if a.Identity < 0.9 {
+		t.Fatalf("identity = %v", a.Identity)
+	}
+}
+
+func TestRefineValidation(t *testing.T) {
+	g := DefaultGapParams()
+	g.GapOpen = 0
+	if _, err := Refine([]byte("ACGT"), []byte("ACGT"), Hit{Length: 4}, g); err == nil {
+		t.Fatal("zero gap-open accepted")
+	}
+	g = DefaultGapParams()
+	g.Band = 0
+	if _, err := Refine([]byte("ACGT"), []byte("ACGT"), Hit{Length: 4}, g); err == nil {
+		t.Fatal("zero band accepted")
+	}
+}
+
+func TestCigarRendering(t *testing.T) {
+	a := &GappedAlignment{Ops: []EditRun{{OpMatch, 87}, {OpDelete, 1}, {OpMatch, 12}}}
+	if a.Cigar() != "87M1D12M" {
+		t.Fatalf("cigar = %s", a.Cigar())
+	}
+}

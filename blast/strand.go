@@ -1,0 +1,94 @@
+package blast
+
+// Strand identifies which query orientation produced a hit.
+type Strand int
+
+// Strands.
+const (
+	Plus Strand = iota
+	Minus
+)
+
+// String implements fmt.Stringer.
+func (s Strand) String() string {
+	if s == Minus {
+		return "minus"
+	}
+	return "plus"
+}
+
+// StrandHit is a hit annotated with the query orientation.
+type StrandHit struct {
+	Hit
+	Strand Strand
+}
+
+// ReverseComplement returns the reverse complement of a nucleotide
+// sequence; non-ACGT bytes map to 'N'.
+func ReverseComplement(seq []byte) []byte {
+	out := make([]byte, len(seq))
+	for i, b := range seq {
+		var c byte
+		switch b {
+		case 'A':
+			c = 'T'
+		case 'T':
+			c = 'A'
+		case 'C':
+			c = 'G'
+		case 'G':
+			c = 'C'
+		default:
+			c = 'N'
+		}
+		out[len(seq)-1-i] = c
+	}
+	return out
+}
+
+// SearchBothStrands scans db with the query in both orientations, as
+// blastn does: DNA features can sit on either strand. Minus-strand hit
+// coordinates refer to the reverse-complemented query.
+func SearchBothStrands(query []byte, db []Sequence, p Params) ([]StrandHit, error) {
+	plus, err := Search(query, db, p)
+	if err != nil {
+		return nil, err
+	}
+	minus, err := Search(ReverseComplement(query), db, p)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]StrandHit, 0, len(plus)+len(minus))
+	for _, h := range plus {
+		out = append(out, StrandHit{Hit: h, Strand: Plus})
+	}
+	for _, h := range minus {
+		out = append(out, StrandHit{Hit: h, Strand: Minus})
+	}
+	// Keep the Search ordering discipline: score-descending.
+	sortStrandHits(out)
+	return out, nil
+}
+
+func sortStrandHits(hits []StrandHit) {
+	// Insertion sort keeps this dependency-free and stable; hit lists
+	// are short relative to the scan cost.
+	for i := 1; i < len(hits); i++ {
+		for j := i; j > 0 && lessStrand(hits[j], hits[j-1]); j-- {
+			hits[j], hits[j-1] = hits[j-1], hits[j]
+		}
+	}
+}
+
+func lessStrand(a, b StrandHit) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	if a.SeqID != b.SeqID {
+		return a.SeqID < b.SeqID
+	}
+	if a.SubjStart != b.SubjStart {
+		return a.SubjStart < b.SubjStart
+	}
+	return a.Strand < b.Strand
+}

@@ -1,0 +1,99 @@
+package blast
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestReverseComplement(t *testing.T) {
+	got := ReverseComplement([]byte("AACGT"))
+	if !bytes.Equal(got, []byte("ACGTT")) {
+		t.Fatalf("got %s", got)
+	}
+	if !bytes.Equal(ReverseComplement([]byte("NAX")), []byte("NTN")) {
+		t.Fatal("non-ACGT handling wrong")
+	}
+}
+
+// Property: reverse complement is an involution on ACGT strings.
+func TestReverseComplementInvolution(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		seq := RandomSeq(rng, int(n)+1)
+		return bytes.Equal(ReverseComplement(ReverseComplement(seq)), seq)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinusStrandHitFound(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	query := RandomSeq(rng, 120)
+	db := RandomDB(rng, 6, 800, 800)
+	// Plant the REVERSE COMPLEMENT of a query region: invisible to a
+	// plus-only search, found on the minus strand.
+	rc := ReverseComplement(query)
+	copy(db[3].Data[200:280], rc[20:100])
+
+	plusOnly, err := Search(query, db, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range plusOnly {
+		if h.SeqID == "seq00003" && h.Score >= 60 {
+			t.Fatal("plus-only search found the minus-strand feature (planting broken)")
+		}
+	}
+	both, err := SearchBothStrands(query, db, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, h := range both {
+		if h.SeqID == "seq00003" && h.Strand == Minus && h.Score >= 60 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("minus-strand hit not recovered: %+v", both)
+	}
+}
+
+func TestBothStrandsSupersetOfPlus(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	query := RandomSeq(rng, 100)
+	db := RandomDB(rng, 5, 600, 600)
+	PlantHit(rng, db, query, 2, 10, 50, 70, 1)
+	plus, err := Search(query, db, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := SearchBothStrands(query, db, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plusCount := 0
+	for _, h := range both {
+		if h.Strand == Plus {
+			plusCount++
+		}
+	}
+	if plusCount != len(plus) {
+		t.Fatalf("both-strand search lost plus hits: %d vs %d", plusCount, len(plus))
+	}
+	// Ordering: scores nonincreasing.
+	for i := 1; i < len(both); i++ {
+		if both[i].Score > both[i-1].Score {
+			t.Fatal("strand hits out of score order")
+		}
+	}
+}
+
+func TestStrandString(t *testing.T) {
+	if Plus.String() != "plus" || Minus.String() != "minus" {
+		t.Fatal("strand strings wrong")
+	}
+}

@@ -1,0 +1,195 @@
+package blast
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// WorkUnit is the distributable task of a BLAST farm: one query against
+// a slice of the database. It is what the Backend hands to PNAs.
+type WorkUnit struct {
+	ID     int
+	Query  []byte
+	DB     []Sequence
+	Params Params
+}
+
+// Run executes the search.
+func (w *WorkUnit) Run() ([]Hit, error) { return Search(w.Query, w.DB, w.Params) }
+
+// CostCells estimates the work as query×database cells — used to derive
+// the task's expected processing time from a calibrated cell rate.
+func (w *WorkUnit) CostCells() int64 {
+	return int64(len(w.Query)) * int64(DBBytes(w.DB))
+}
+
+// Split partitions db into k contiguous work units sharing one query.
+func Split(query []byte, db []Sequence, p Params, k int) []WorkUnit {
+	if k <= 0 {
+		k = 1
+	}
+	if k > len(db) {
+		k = len(db)
+	}
+	units := make([]WorkUnit, 0, k)
+	per := len(db) / k
+	extra := len(db) % k
+	at := 0
+	for i := 0; i < k; i++ {
+		n := per
+		if i < extra {
+			n++
+		}
+		units = append(units, WorkUnit{ID: i, Query: query, DB: db[at : at+n], Params: p})
+		at += n
+	}
+	return units
+}
+
+// Encode serializes the unit for transmission (length-prefixed binary).
+func (w *WorkUnit) Encode() ([]byte, error) {
+	var b bytes.Buffer
+	put32 := func(v int) { binary.Write(&b, binary.BigEndian, uint32(v)) }
+	put32(w.ID)
+	put32(len(w.Query))
+	b.Write(w.Query)
+	put32(w.Params.K)
+	binary.Write(&b, binary.BigEndian, int32(w.Params.Match))
+	binary.Write(&b, binary.BigEndian, int32(w.Params.Mismatch))
+	binary.Write(&b, binary.BigEndian, int32(w.Params.XDrop))
+	binary.Write(&b, binary.BigEndian, int32(w.Params.MinScore))
+	put32(len(w.DB))
+	for _, s := range w.DB {
+		if len(s.ID) > 255 {
+			return nil, fmt.Errorf("blast: sequence id %q too long", s.ID)
+		}
+		b.WriteByte(byte(len(s.ID)))
+		b.WriteString(s.ID)
+		put32(len(s.Data))
+		b.Write(s.Data)
+	}
+	return b.Bytes(), nil
+}
+
+// DecodeWorkUnit reverses Encode.
+func DecodeWorkUnit(raw []byte) (*WorkUnit, error) {
+	r := bytes.NewReader(raw)
+	get32 := func() (int, error) {
+		var v uint32
+		err := binary.Read(r, binary.BigEndian, &v)
+		return int(v), err
+	}
+	getI32 := func() (int, error) {
+		var v int32
+		err := binary.Read(r, binary.BigEndian, &v)
+		return int(v), err
+	}
+	w := &WorkUnit{}
+	var err error
+	if w.ID, err = get32(); err != nil {
+		return nil, err
+	}
+	qlen, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	if qlen > r.Len() {
+		return nil, errors.New("blast: truncated query")
+	}
+	w.Query = make([]byte, qlen)
+	if _, err := r.Read(w.Query); err != nil {
+		return nil, err
+	}
+	if w.Params.K, err = get32(); err != nil {
+		return nil, err
+	}
+	if w.Params.Match, err = getI32(); err != nil {
+		return nil, err
+	}
+	if w.Params.Mismatch, err = getI32(); err != nil {
+		return nil, err
+	}
+	if w.Params.XDrop, err = getI32(); err != nil {
+		return nil, err
+	}
+	if w.Params.MinScore, err = getI32(); err != nil {
+		return nil, err
+	}
+	n, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		idLen, err := r.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		id := make([]byte, idLen)
+		if _, err := r.Read(id); err != nil {
+			return nil, err
+		}
+		dlen, err := get32()
+		if err != nil {
+			return nil, err
+		}
+		if dlen > r.Len() {
+			return nil, errors.New("blast: truncated sequence")
+		}
+		data := make([]byte, dlen)
+		if _, err := r.Read(data); err != nil {
+			return nil, err
+		}
+		w.DB = append(w.DB, Sequence{ID: string(id), Data: data})
+	}
+	return w, nil
+}
+
+// EncodeHits serializes search results (the task's r bytes).
+func EncodeHits(hits []Hit) []byte {
+	var b bytes.Buffer
+	binary.Write(&b, binary.BigEndian, uint32(len(hits)))
+	for _, h := range hits {
+		b.WriteByte(byte(len(h.SeqID)))
+		b.WriteString(h.SeqID)
+		for _, v := range []int32{int32(h.QueryStart), int32(h.SubjStart), int32(h.Length), int32(h.Score)} {
+			binary.Write(&b, binary.BigEndian, v)
+		}
+	}
+	return b.Bytes()
+}
+
+// DecodeHits reverses EncodeHits.
+func DecodeHits(raw []byte) ([]Hit, error) {
+	r := bytes.NewReader(raw)
+	var n uint32
+	if err := binary.Read(r, binary.BigEndian, &n); err != nil {
+		return nil, err
+	}
+	hits := make([]Hit, 0, n)
+	for i := uint32(0); i < n; i++ {
+		idLen, err := r.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		id := make([]byte, idLen)
+		if _, err := r.Read(id); err != nil {
+			return nil, err
+		}
+		var vals [4]int32
+		for j := range vals {
+			if err := binary.Read(r, binary.BigEndian, &vals[j]); err != nil {
+				return nil, err
+			}
+		}
+		hits = append(hits, Hit{
+			SeqID:      string(id),
+			QueryStart: int(vals[0]),
+			SubjStart:  int(vals[1]),
+			Length:     int(vals[2]),
+			Score:      int(vals[3]),
+		})
+	}
+	return hits, nil
+}

@@ -1,0 +1,157 @@
+// Command oddci-bench emits machine-readable CSV sweeps of the core
+// models, for plotting or regression tracking:
+//
+//	oddci-bench -sweep fig6  > fig6.csv
+//	oddci-bench -sweep fig7  > fig7.csv
+//	oddci-bench -sweep table1 > table1.csv
+//	oddci-bench -sweep churn  > churn.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"strconv"
+	"time"
+
+	"oddci/internal/analytic"
+	"oddci/internal/baseline"
+	"oddci/internal/sim"
+)
+
+func main() {
+	var (
+		sweep = flag.String("sweep", "fig6", "one of fig6, fig7, table1, churn")
+		seed  = flag.Int64("seed", 2009, "random seed")
+		nodes = flag.Int("nodes", 200, "DES population for validated sweeps")
+	)
+	flag.Parse()
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	var err error
+	switch *sweep {
+	case "fig6", "fig7":
+		err = sweepFig(w, *sweep, *seed, *nodes)
+	case "table1":
+		err = sweepTable1(w)
+	case "churn":
+		err = sweepChurn(w, *seed, *nodes)
+	default:
+		err = fmt.Errorf("unknown sweep %q", *sweep)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+
+func sweepFig(w *csv.Writer, which string, seed int64, nodes int) error {
+	if err := w.Write([]string{"ratio", "phi", "analytic", "des"}); err != nil {
+		return err
+	}
+	for _, ratio := range []float64{1, 10, 100, 1000} {
+		for e := 0.0; e <= 5.0; e += 0.5 {
+			phi := math.Pow(10, e)
+			p := analytic.Figure6Defaults(ratio, float64(nodes)).WithPhi(phi)
+			res, err := sim.RunJob(sim.JobConfig{
+				Nodes:        nodes,
+				Tasks:        int(ratio) * nodes,
+				ImageBytes:   int64(p.ImageBits / 8),
+				Beta:         p.Beta,
+				Delta:        p.Delta,
+				TaskInBytes:  int(p.TaskInBits / 8),
+				TaskOutBytes: int(p.TaskOutBits / 8),
+				TaskSeconds:  p.TaskSeconds,
+				Seed:         seed,
+			})
+			if err != nil {
+				return err
+			}
+			var ana, des float64
+			if which == "fig6" {
+				ana, des = p.Efficiency(), res.Efficiency
+			} else {
+				ana, des = p.Makespan(), res.Makespan.Seconds()
+			}
+			if err := w.Write([]string{f(ratio), f(phi), f(ana), f(des)}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func sweepTable1(w *csv.Writer) error {
+	if err := w.Write([]string{"n", "oddci", "grid", "iaas", "multicast"}); err != nil {
+		return err
+	}
+	const img = 8 << 20
+	oddci := baseline.OddCI{ImageBytes: img, BetaBps: 1e6}
+	grid := baseline.Unicast{ImageBytes: img, UplinkBps: 1e9, DeltaBps: 10e6}
+	iaas := baseline.IaaS{ImageBytes: img, DeltaBps: 1e9, Boot: 2 * time.Minute, Concurrency: 100}
+	tree := baseline.MulticastTree{ImageBytes: img, DeltaBps: 10e6, Fanout: 8}
+	for n := 10; n <= 10_000_000; n *= 10 {
+		ro, err := oddci.Analytic(n)
+		if err != nil {
+			return err
+		}
+		rg, err := grid.Analytic(n)
+		if err != nil {
+			return err
+		}
+		ri, err := iaas.Analytic(n)
+		if err != nil {
+			return err
+		}
+		rm, err := tree.Analytic(n)
+		if err != nil {
+			return err
+		}
+		row := []string{strconv.Itoa(n), f(ro.Last.Seconds()), f(rg.Last.Seconds()),
+			f(ri.Last.Seconds()), f(rm.Last.Seconds())}
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sweepChurn(w *csv.Writer, seed int64, nodes int) error {
+	if err := w.Write([]string{"mean_on_min", "phi", "efficiency", "tasks_lost", "departures"}); err != nil {
+		return err
+	}
+	for _, onMin := range []int{10, 20, 30, 60, 120, 240} {
+		for _, phi := range []float64{100, 1000, 10000} {
+			p := analytic.Figure6Defaults(20, float64(nodes)).WithPhi(phi)
+			res, err := sim.RunChurnJob(sim.ChurnJobConfig{
+				JobConfig: sim.JobConfig{
+					Nodes:        nodes,
+					Tasks:        20 * nodes,
+					ImageBytes:   int64(p.ImageBits / 8),
+					Beta:         p.Beta,
+					Delta:        p.Delta,
+					TaskInBytes:  int(p.TaskInBits / 8),
+					TaskOutBytes: int(p.TaskOutBits / 8),
+					TaskSeconds:  p.TaskSeconds,
+					Seed:         seed,
+				},
+				MeanOn:  time.Duration(onMin) * time.Minute,
+				MeanOff: 5 * time.Minute,
+			})
+			if err != nil {
+				return err
+			}
+			row := []string{strconv.Itoa(onMin), f(phi), f(res.Efficiency),
+				strconv.Itoa(res.TasksLost), strconv.Itoa(res.Departures)}
+			if err := w.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

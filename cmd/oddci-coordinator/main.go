@@ -1,0 +1,83 @@
+// Command oddci-coordinator runs the server side of a TCP OddCI
+// deployment: the Controller head-end (signed wakeup + image push) and
+// the Backend (bag-of-tasks scheduler) in one process. Pair it with
+// oddci-node agents:
+//
+//	oddci-coordinator -listen :7070 -tasks 60 -task-seconds 2
+//	oddci-node -addr host:7070 -id 1 -timescale 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"oddci/internal/appimage"
+	"oddci/internal/core/backend"
+	"oddci/internal/transport"
+	"oddci/internal/workload"
+)
+
+func main() {
+	var (
+		listen     = flag.String("listen", "127.0.0.1:7070", "TCP listen address")
+		name       = flag.String("name", "oddci-demo", "deployment name")
+		tasks      = flag.Int("tasks", 60, "number of tasks in the demo job")
+		taskSecs   = flag.Float64("task-seconds", 2, "reference-STB seconds per task")
+		imageKB    = flag.Int("image-kb", 256, "application image size (KB)")
+		prob       = flag.Float64("probability", 1, "wakeup probability gate")
+		heartbeat  = flag.Duration("heartbeat", 10*time.Second, "node heartbeat period")
+		jobTimeout = flag.Duration("timeout", 30*time.Minute, "give up after this long")
+	)
+	flag.Parse()
+
+	img := &appimage.Image{
+		Name:       "demo-worker",
+		Version:    1,
+		EntryPoint: backend.WorkerEntryPoint,
+		Payload:    make([]byte, *imageKB<<10),
+	}
+	coord, err := transport.NewCoordinator(transport.CoordinatorConfig{
+		Listen:          *listen,
+		Name:            *name,
+		Image:           img,
+		Probability:     *prob,
+		HeartbeatPeriod: *heartbeat,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	job, err := (&workload.Generator{
+		Name: "demo", Tasks: *tasks, MeanSeconds: *taskSecs,
+		InputBytes: 512, OutputBytes: 256,
+	}).Generate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	h, err := coord.Submit(job)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("oddci-coordinator listening on %s\n", coord.Addr())
+	fmt.Printf("controller key: %x\n", coord.PublicKey())
+	fmt.Printf("job: %d tasks × %.1f reference-STB seconds\n", *tasks, *taskSecs)
+
+	done := make(chan time.Time, 1)
+	h.OnComplete(func(at time.Time) { done <- at })
+	go coord.Serve()
+
+	select {
+	case <-done:
+		ms, _ := h.Makespan()
+		fmt.Printf("job complete: makespan %.1fs, %d results, %d heartbeats seen, %d nodes\n",
+			ms.Seconds(), len(h.Results()), coord.Heartbeats, len(coord.NodesSeen))
+		coord.Drain(10 * time.Second) // let nodes poll once more and go home
+	case <-time.After(*jobTimeout):
+		fmt.Fprintln(os.Stderr, "timed out waiting for the job")
+		coord.Close()
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,58 @@
+// Command oddci-sim regenerates the paper's tables and figures (and the
+// repository's ablations) from the simulation.
+//
+// Usage:
+//
+//	oddci-sim -exp all            # every experiment, full sweeps
+//	oddci-sim -exp table2 -quick  # one experiment, reduced sweep
+//	oddci-sim -list               # enumerate experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"oddci/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment ID, comma-separated list, or 'all'")
+		quick = flag.Bool("quick", false, "reduced sweeps (CI-sized)")
+		seed  = flag.Int64("seed", 2009, "random seed")
+		list  = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return
+	}
+	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+
+	var results []*experiments.Result
+	var err error
+	if *exp == "all" {
+		results, err = experiments.RunAll(cfg)
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			var res *experiments.Result
+			res, err = experiments.Run(strings.TrimSpace(id), cfg)
+			if res != nil {
+				results = append(results, res)
+			}
+			if err != nil {
+				break
+			}
+		}
+	}
+	for _, r := range results {
+		r.Render(os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "oddci-sim: %v\n", err)
+		os.Exit(1)
+	}
+}

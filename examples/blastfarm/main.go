@@ -1,0 +1,132 @@
+// Blastfarm: the paper's motivating workload end to end. A synthetic
+// nucleotide database is split into work units; each task carries a
+// real, encoded BLAST work unit as its payload. The OddCI instance's
+// workers decode and actually execute the searches on their simulated
+// set-top boxes, and the collected hits are verified against a local
+// run of the same search.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"oddci"
+	"oddci/blast"
+)
+
+func main() {
+	const (
+		nodes       = 32
+		units       = 128
+		dbSeqs      = 1024
+		seqLen      = 2000
+		stbCellRate = 5e6 // reference-STB alignment cells per second
+	)
+	rng := rand.New(rand.NewSource(7))
+
+	// Build the database and query; plant alignments so there is
+	// something to find.
+	query := blast.RandomSeq(rng, 256)
+	db := blast.RandomDB(rng, dbSeqs, seqLen, seqLen)
+	for i := 0; i < 20; i++ {
+		blast.PlantHit(rng, db, query, rng.Intn(dbSeqs), rng.Intn(128), 100, 120, 3)
+	}
+	params := blast.DefaultParams()
+	params.MinScore = 40
+
+	// Ground truth: a single local search.
+	local, err := blast.Search(query, db, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Shard into work units and wrap them as OddCI tasks whose payloads
+	// are the encoded units.
+	workUnits := blast.Split(query, db, params, units)
+	job := &oddci.Job{Name: "blastfarm", ImageBytes: 2 << 20}
+	for _, u := range workUnits {
+		raw, err := u.Encode()
+		if err != nil {
+			log.Fatal(err)
+		}
+		job.Tasks = append(job.Tasks, oddci.Task{
+			ID:          u.ID,
+			InputBytes:  len(raw),
+			OutputBytes: 2048,
+			STBSeconds:  float64(u.CostCells()) / stbCellRate,
+			Payload:     raw,
+		})
+	}
+
+	// Workers actually execute the searches.
+	oddci.SetTaskPayloadHandler(func(payload []byte) []byte {
+		u, err := blast.DecodeWorkUnit(payload)
+		if err != nil {
+			return nil
+		}
+		hits, err := u.Run()
+		if err != nil {
+			return nil
+		}
+		return blast.EncodeHits(hits)
+	})
+
+	sys, err := oddci.New(oddci.Options{Nodes: nodes, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	handle, err := sys.SubmitJob(job)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sys.CreateInstance(oddci.InstanceSpec{
+		Image:              oddci.WorkerImage(job.ImageBytes),
+		Target:             nodes,
+		InitialProbability: 1,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	makespan, err := sys.RunJob(handle)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Merge and verify against the local run.
+	var merged []blast.Hit
+	for _, raw := range handle.Results() {
+		hits, err := blast.DecodeHits(raw)
+		if err != nil {
+			log.Fatal(err)
+		}
+		merged = append(merged, hits...)
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].Score != merged[j].Score {
+			return merged[i].Score > merged[j].Score
+		}
+		if merged[i].SeqID != merged[j].SeqID {
+			return merged[i].SeqID < merged[j].SeqID
+		}
+		return merged[i].SubjStart < merged[j].SubjStart
+	})
+	match := len(merged) == len(local)
+	for i := range merged {
+		if !match || merged[i] != local[i] {
+			match = false
+			break
+		}
+	}
+
+	fmt.Printf("database:          %d sequences, %.1f Mbases\n", dbSeqs, float64(blast.DBBytes(db))/1e6)
+	fmt.Printf("work units:        %d across %d STBs\n", units, nodes)
+	fmt.Printf("hits (distributed): %d\n", len(merged))
+	fmt.Printf("hits (local):       %d\n", len(local))
+	fmt.Printf("results identical:  %v\n", match)
+	fmt.Printf("makespan:           %.1fs for %.0f STB-seconds of compute\n",
+		makespan.Seconds(), job.TotalSTBSeconds())
+	if !match {
+		log.Fatal("distributed hits differ from the local run")
+	}
+}

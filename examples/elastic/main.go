@@ -1,0 +1,82 @@
+// Elastic: the §3.2 elasticity story. Several OddCI instances share one
+// broadcast network's device population; the Provider creates, resizes
+// and dismantles them on demand, and the Controller reallocates nodes
+// accordingly.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"oddci"
+)
+
+func main() {
+	const nodes = 120
+	sys, err := oddci.New(oddci.Options{
+		Nodes:             nodes,
+		Seed:              5,
+		HeartbeatPeriod:   20 * time.Second,
+		MaintenancePeriod: 30 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mkImage := func(name string) *oddci.Image {
+		return &oddci.Image{
+			Name:       name,
+			Version:    1,
+			EntryPoint: oddci.WorkerEntryPoint,
+			Payload:    make([]byte, 256<<10),
+		}
+	}
+
+	// Phase 1: a genomics instance takes half the population.
+	genomics, err := sys.CreateInstance(oddci.InstanceSpec{
+		Image: mkImage("genomics"), Target: 60, InitialProbability: 0.6,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase 2 (t=6m): a rendering instance joins; genomics shrinks to
+	// make room.
+	var rendering *oddci.Instance
+	sys.After(6*time.Minute, func() {
+		if err := genomics.Resize(30); err != nil {
+			log.Print(err)
+		}
+		rendering, err = sys.CreateInstance(oddci.InstanceSpec{
+			Image: mkImage("rendering"), Target: 50, InitialProbability: 0.7,
+		})
+		if err != nil {
+			log.Print(err)
+		}
+	})
+
+	// Phase 3 (t=20m): genomics finishes and is dismantled.
+	sys.After(20*time.Minute, func() {
+		if err := genomics.Destroy(); err != nil {
+			log.Print(err)
+		}
+	})
+
+	fmt.Printf("%6s  %9s  %9s  %6s %6s\n", "minute", "genomics", "rendering", "idle", "busy")
+	for m := 2; m <= 32; m += 2 {
+		m := m
+		sys.After(time.Duration(m)*time.Minute, func() {
+			idle, busy := sys.Population()
+			r := 0
+			if rendering != nil {
+				r = sys.LiveBusy(uint64(rendering.ID()))
+			}
+			fmt.Printf("%6d  %9d  %9d  %6d %6d\n",
+				m, sys.LiveBusy(uint64(genomics.ID())), r, idle, busy)
+		})
+	}
+	sys.After(33*time.Minute, sys.Shutdown)
+	sys.Wait()
+	fmt.Println("\ninstances grew, shrank and vanished on demand — no per-device setup anywhere")
+}

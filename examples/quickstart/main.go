@@ -1,0 +1,64 @@
+// Quickstart: instantiate an OddCI over 64 simulated set-top boxes, run
+// a 1000-task job, and compare the measured makespan and efficiency
+// with the paper's closed-form model (equations 1 and 2).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"oddci"
+)
+
+func main() {
+	const (
+		nodes      = 64
+		tasks      = 1000
+		imageBytes = 1 << 20 // 1 MiB worker image
+	)
+	sys, err := oddci.New(oddci.Options{Nodes: nodes, Seed: 2009})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	job, err := (&oddci.Generator{
+		Name:        "quickstart",
+		Tasks:       tasks,
+		MeanSeconds: 5, // 5 s per task on the reference STB
+		InputBytes:  512,
+		OutputBytes: 512,
+		ImageBytes:  imageBytes,
+	}).Generate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	handle, err := sys.SubmitJob(job)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sys.CreateInstance(oddci.InstanceSpec{
+		Image:              oddci.WorkerImage(imageBytes),
+		Target:             nodes,
+		InitialProbability: 1, // take every tuned receiver
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	start := time.Now()
+	makespan, err := sys.RunJob(handle)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	params := job.Params(nodes, 1e6, 150e3)
+	fmt.Printf("nodes:              %d\n", nodes)
+	fmt.Printf("tasks:              %d (%.0f STB-seconds of work)\n", tasks, job.TotalSTBSeconds())
+	fmt.Printf("measured makespan:  %.1fs (simulated in %v of wall time)\n",
+		makespan.Seconds(), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("model makespan:     %.1fs (eq. 1, random-phase wakeup)\n", params.Makespan())
+	fmt.Printf("measured efficiency: %.3f\n",
+		job.TotalSTBSeconds()/(makespan.Seconds()*nodes))
+	fmt.Printf("model efficiency:    %.3f (eq. 2)\n", params.Efficiency())
+	fmt.Printf("single machine would need %.1f hours\n", job.TotalSTBSeconds()/3600)
+}

@@ -1,0 +1,3 @@
+module oddci
+
+go 1.22

@@ -1,0 +1,153 @@
+// Package ait implements the Application Information Table that signals
+// interactive applications to DTV receivers (ETSI TS 102 809 / MHP,
+// simplified). The AIT is what makes the OddCI wakeup work: the PNA Xlet
+// is announced with control code AUTOSTART, so every tuned receiver
+// loads and starts it without user intervention.
+//
+// Simplification vs. the full standard: the application descriptor loop
+// is reduced to the two fields this system consumes — the application
+// name and the carousel file carrying its code ("base directory" +
+// "initial class" collapsed into one name).
+package ait
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"oddci/internal/mpegts"
+)
+
+// ControlCode directs the receiver's application manager.
+type ControlCode uint8
+
+// Control codes from TS 102 809 §5.3.5.2.
+const (
+	Autostart ControlCode = 0x01
+	Present   ControlCode = 0x02
+	Destroy   ControlCode = 0x03
+	Kill      ControlCode = 0x04
+	Remote    ControlCode = 0x05
+	Disabled  ControlCode = 0x06
+)
+
+// String implements fmt.Stringer.
+func (c ControlCode) String() string {
+	switch c {
+	case Autostart:
+		return "AUTOSTART"
+	case Present:
+		return "PRESENT"
+	case Destroy:
+		return "DESTROY"
+	case Kill:
+		return "KILL"
+	case Remote:
+		return "REMOTE"
+	case Disabled:
+		return "DISABLED"
+	default:
+		return fmt.Sprintf("ControlCode(%#x)", uint8(c))
+	}
+}
+
+// ApplicationType values (table_id_extension).
+const (
+	TypeDVBJ uint16 = 0x0001 // Java/Xlet applications
+)
+
+// Application is one entry in the AIT.
+type Application struct {
+	OrgID       uint32
+	AppID       uint16
+	ControlCode ControlCode
+	// Name is the human-readable application name.
+	Name string
+	// ClassFile is the carousel file carrying the application code (the
+	// Xlet's initial class).
+	ClassFile string
+}
+
+// Key returns the application identifier as a single comparable value.
+func (a *Application) Key() uint64 { return uint64(a.OrgID)<<16 | uint64(a.AppID) }
+
+// AIT is the full table for one application type.
+type AIT struct {
+	Type         uint16
+	Version      uint8 // 5 bits; receivers reprocess on change
+	Applications []Application
+}
+
+// Encode serializes the AIT into one section (table id 0x74).
+func (t *AIT) Encode() ([]byte, error) {
+	if len(t.Applications) > 255 {
+		return nil, errors.New("ait: too many applications")
+	}
+	buf := []byte{byte(len(t.Applications))}
+	for _, a := range t.Applications {
+		if len(a.Name) > 255 || len(a.ClassFile) > 255 {
+			return nil, fmt.Errorf("ait: strings too long for app %#x", a.AppID)
+		}
+		buf = binary.BigEndian.AppendUint32(buf, a.OrgID)
+		buf = binary.BigEndian.AppendUint16(buf, a.AppID)
+		buf = append(buf, byte(a.ControlCode), byte(len(a.Name)))
+		buf = append(buf, a.Name...)
+		buf = append(buf, byte(len(a.ClassFile)))
+		buf = append(buf, a.ClassFile...)
+	}
+	if len(buf) > mpegts.MaxSectionPayload {
+		return nil, errors.New("ait: table exceeds one section")
+	}
+	s := &mpegts.Section{
+		TableID:     mpegts.TableIDAIT,
+		TableIDExt:  t.Type,
+		Version:     t.Version & 0x1F,
+		CurrentNext: true,
+		Payload:     buf,
+	}
+	return s.Encode()
+}
+
+// Decode parses an AIT section.
+func Decode(raw []byte) (*AIT, error) {
+	s, _, err := mpegts.DecodeSection(raw)
+	if err != nil {
+		return nil, err
+	}
+	if s.TableID != mpegts.TableIDAIT {
+		return nil, fmt.Errorf("ait: table id %#x is not an AIT", s.TableID)
+	}
+	b := s.Payload
+	if len(b) < 1 {
+		return nil, errors.New("ait: empty payload")
+	}
+	n := int(b[0])
+	b = b[1:]
+	t := &AIT{Type: s.TableIDExt, Version: s.Version}
+	for i := 0; i < n; i++ {
+		if len(b) < 8 {
+			return nil, errors.New("ait: truncated application entry")
+		}
+		a := Application{
+			OrgID:       binary.BigEndian.Uint32(b[0:]),
+			AppID:       binary.BigEndian.Uint16(b[4:]),
+			ControlCode: ControlCode(b[6]),
+		}
+		nameLen := int(b[7])
+		b = b[8:]
+		if len(b) < nameLen+1 {
+			return nil, errors.New("ait: truncated application name")
+		}
+		a.Name = string(b[:nameLen])
+		b = b[nameLen:]
+		classLen := int(b[0])
+		b = b[1:]
+		if len(b) < classLen {
+			return nil, errors.New("ait: truncated class file")
+		}
+		a.ClassFile = string(b[:classLen])
+		b = b[classLen:]
+		t.Applications = append(t.Applications, a)
+	}
+	return t, nil
+}

@@ -1,0 +1,126 @@
+package ait
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"oddci/internal/mpegts"
+)
+
+func TestAITRoundTrip(t *testing.T) {
+	a := &AIT{
+		Type:    TypeDVBJ,
+		Version: 9,
+		Applications: []Application{
+			{OrgID: 0x0ddc1, AppID: 1, ControlCode: Autostart, Name: "PNA", ClassFile: "pna.xlet"},
+			{OrgID: 0x0ddc1, AppID: 2, ControlCode: Kill, Name: "old-app", ClassFile: "old.xlet"},
+		},
+	}
+	raw, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, a) {
+		t.Fatalf("got %+v want %+v", got, a)
+	}
+}
+
+func TestAITRejectsWrongTable(t *testing.T) {
+	s := &mpegts.Section{TableID: 0x42, Payload: []byte{0}}
+	raw, _ := s.Encode()
+	if _, err := Decode(raw); err == nil {
+		t.Fatal("non-AIT section accepted")
+	}
+}
+
+func TestControlCodeString(t *testing.T) {
+	if Autostart.String() != "AUTOSTART" || Kill.String() != "KILL" {
+		t.Fatal("control code strings wrong")
+	}
+	if ControlCode(0x99).String() == "" {
+		t.Fatal("unknown code has empty string")
+	}
+}
+
+func TestApplicationKeyUnique(t *testing.T) {
+	a := Application{OrgID: 1, AppID: 2}
+	b := Application{OrgID: 2, AppID: 1}
+	if a.Key() == b.Key() {
+		t.Fatal("distinct identifiers collide")
+	}
+}
+
+// Property: arbitrary AITs round-trip.
+func TestAITRoundTripProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n) % 12
+		a := &AIT{Type: uint16(rng.Intn(1 << 16)), Version: uint8(rng.Intn(32))}
+		for i := 0; i < count; i++ {
+			name := make([]byte, rng.Intn(20))
+			for j := range name {
+				name[j] = byte('a' + rng.Intn(26))
+			}
+			a.Applications = append(a.Applications, Application{
+				OrgID:       rng.Uint32(),
+				AppID:       uint16(rng.Intn(1 << 16)),
+				ControlCode: ControlCode(rng.Intn(7)),
+				Name:        string(name),
+				ClassFile:   string(name) + ".xlet",
+			})
+		}
+		raw, err := a.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := Decode(raw)
+		if err != nil {
+			return false
+		}
+		if len(got.Applications) == 0 {
+			got.Applications = nil
+		}
+		return reflect.DeepEqual(got, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeTruncations(t *testing.T) {
+	full := &AIT{Type: TypeDVBJ, Applications: []Application{
+		{OrgID: 1, AppID: 2, ControlCode: Autostart, Name: "app", ClassFile: "a.xlet"},
+	}}
+	raw, err := full.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild sections with truncated payloads: cut inside the entry,
+	// inside the name, and inside the class file.
+	dec, _, _ := mpegts.DecodeSection(raw)
+	for _, cut := range []int{1, 5, 9, len(dec.Payload) - 1} {
+		s := &mpegts.Section{TableID: mpegts.TableIDAIT, Payload: dec.Payload[:cut]}
+		broken, err := s.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Decode(broken); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := Decode([]byte{1, 2}); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// All control code strings.
+	for _, c := range []ControlCode{Autostart, Present, Destroy, Kill, Remote, Disabled} {
+		if c.String() == "" {
+			t.Fatal("empty code string")
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Package analytic implements the closed-form performance models of
+// Section 5 of the OddCI paper: the wakeup overhead W = 1.5·I/β, the
+// average job makespan (equation 1), the instance efficiency (equation
+// 2), and the application-suitability index Φ.
+//
+// Erratum handled here: the paper prints Φ = (s+r)/(δ·p), but its own
+// numeric anchors (Φ=1 ⇒ p ≈ 53 ms and Φ=100 000 ⇒ p ≈ 1.5 h with
+// (s+r) = 1 KB and δ = 150 kbps) require the reciprocal. We therefore
+// define Φ = p·δ/(s+r): the ratio of a task's compute time to its
+// communication time, growing with suitability exactly as Figure 6
+// describes.
+package analytic
+
+import (
+	"errors"
+	"math"
+)
+
+// Params describes one OddCI instance + job scenario in SI units (bits,
+// bits per second, seconds).
+type Params struct {
+	// ImageBits is I, the application image size in bits.
+	ImageBits float64
+	// Beta is β, the spare broadcast-channel capacity in bps.
+	Beta float64
+	// Delta is δ, the per-node direct-channel capacity in bps.
+	Delta float64
+	// N is the number of processing nodes in the instance.
+	N float64
+	// Tasks is n, the number of tasks in the job.
+	Tasks float64
+	// TaskInBits is s̄, the average task input size in bits (0 for
+	// parametric applications).
+	TaskInBits float64
+	// TaskOutBits is r̄, the average task result size in bits.
+	TaskOutBits float64
+	// TaskSeconds is p̄, the average task processing time on a reference
+	// set-top box.
+	TaskSeconds float64
+}
+
+// Validate reports structural problems with the parameters.
+func (p Params) Validate() error {
+	switch {
+	case p.Beta <= 0:
+		return errors.New("analytic: β must be positive")
+	case p.Delta <= 0:
+		return errors.New("analytic: δ must be positive")
+	case p.N <= 0:
+		return errors.New("analytic: N must be positive")
+	case p.Tasks <= 0:
+		return errors.New("analytic: n must be positive")
+	case p.TaskSeconds <= 0:
+		return errors.New("analytic: p must be positive")
+	case p.ImageBits < 0 || p.TaskInBits < 0 || p.TaskOutBits < 0:
+		return errors.New("analytic: sizes must be non-negative")
+	}
+	return nil
+}
+
+// Wakeup returns W = 1.5·I/β in seconds: the average time for every
+// tuned node to assemble the image from the cyclic carousel.
+func (p Params) Wakeup() float64 { return 1.5 * p.ImageBits / p.Beta }
+
+// Makespan returns equation (1):
+//
+//	M = 1.5·I/β + (n/N)·((s+r)/δ + p)
+func (p Params) Makespan() float64 {
+	return p.Wakeup() + p.Tasks/p.N*((p.TaskInBits+p.TaskOutBits)/p.Delta+p.TaskSeconds)
+}
+
+// Efficiency returns equation (2): E = n·p/(M·N), the ratio of achieved
+// throughput n/M to the ideal N/p.
+func (p Params) Efficiency() float64 {
+	return p.Tasks * p.TaskSeconds / (p.Makespan() * p.N)
+}
+
+// Phi returns the suitability index Φ = p·δ/(s+r) (see the package note
+// about the paper's typo). It is +Inf for parametric applications with
+// no task I/O.
+func (p Params) Phi() float64 {
+	io := p.TaskInBits + p.TaskOutBits
+	if io == 0 {
+		return math.Inf(1)
+	}
+	return p.TaskSeconds * p.Delta / io
+}
+
+// WithPhi returns a copy of p whose TaskSeconds is set so that the
+// scenario has suitability phi, holding (s+r) and δ fixed — how the
+// Figure 6/7 sweeps are parameterized.
+func (p Params) WithPhi(phi float64) Params {
+	io := p.TaskInBits + p.TaskOutBits
+	p.TaskSeconds = phi * io / p.Delta
+	return p
+}
+
+// Figure6Defaults returns the scenario of Figures 6 and 7: I = 10 MB,
+// β = 1 Mbps, δ = 150 kbps, (s+r) = 1 KB split evenly, N fixed and n
+// chosen by the caller via the ratio n/N.
+func Figure6Defaults(ratio, nodes float64) Params {
+	return Params{
+		ImageBits:   10 * 1e6 * 8, // the paper's "10 Mbytes" image (decimal MB)
+		Beta:        1e6,
+		Delta:       150e3,
+		N:           nodes,
+		Tasks:       ratio * nodes,
+		TaskInBits:  512 * 8,
+		TaskOutBits: 512 * 8,
+		TaskSeconds: 0.0546, // Φ=1 anchor; callers override via WithPhi
+	}
+}
+
+// PerTaskSeconds returns the full per-task service time a worker pays:
+// request + input at δ, compute, result at δ. reqBits is the pull
+// request overhead (the simulator uses 512 bits).
+func (p Params) PerTaskSeconds(reqBits float64) float64 {
+	return (reqBits+p.TaskInBits)/p.Delta + p.TaskSeconds + p.TaskOutBits/p.Delta
+}
+
+// MakespanSynchronized returns the exact makespan of the discrete model
+// with synchronized joins: every node starts pulling when the first
+// full carousel cycle completes (C = I/β), the pull queue balances the
+// load to within one task, and the last node finishes after ⌈n/N⌉
+// service times. The continuous model (Makespan) charges the 1.5-cycle
+// random-phase wakeup and a fractional n/N instead; this variant is
+// what the live system reproduces exactly when agents are resident
+// before the wakeup (see the DES cross-validation).
+func (p Params) MakespanSynchronized(reqBits float64) float64 {
+	cycle := p.ImageBits / p.Beta
+	rounds := math.Ceil(p.Tasks / p.N)
+	return cycle + rounds*p.PerTaskSeconds(reqBits)
+}
+
+// SingleThroughput returns 1/p, the reference single-node throughput.
+func (p Params) SingleThroughput() float64 { return 1 / p.TaskSeconds }
+
+// IdealThroughput returns N/p.
+func (p Params) IdealThroughput() float64 { return p.N / p.TaskSeconds }
+
+// NodesFor inverts equation (1): the smallest instance size N that
+// completes n tasks within target seconds, or 0 when the target is
+// unreachable (it is below the wakeup overhead plus one task's
+// service). This is the Provider's sizing question: "how many receivers
+// do I need to finish by T?".
+func (p Params) NodesFor(targetSeconds float64) float64 {
+	perTask := (p.TaskInBits+p.TaskOutBits)/p.Delta + p.TaskSeconds
+	budget := targetSeconds - p.Wakeup()
+	if budget < perTask {
+		return 0
+	}
+	return math.Ceil(p.Tasks * perTask / budget)
+}

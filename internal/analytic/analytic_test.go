@@ -1,0 +1,179 @@
+package analytic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWakeupModel(t *testing.T) {
+	p := Params{ImageBits: 8 * 8e6, Beta: 1e6} // 8 MB at 1 Mbps
+	if got, want := p.Wakeup(), 1.5*64.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("W = %v, want %v", got, want)
+	}
+}
+
+func TestPhiAnchorsFromPaper(t *testing.T) {
+	// With (s+r) = 1 KB and δ = 150 kbps the paper says Φ=1 ⇒ p ≈ 53 ms
+	// and Φ=100000 ⇒ p ≈ 1.5 h.
+	p := Figure6Defaults(1, 1000).WithPhi(1)
+	if p.TaskSeconds < 0.050 || p.TaskSeconds > 0.058 {
+		t.Fatalf("Φ=1 ⇒ p = %v s, want ≈ 53 ms", p.TaskSeconds)
+	}
+	p = p.WithPhi(100000)
+	hours := p.TaskSeconds / 3600
+	if hours < 1.4 || hours > 1.6 {
+		t.Fatalf("Φ=100000 ⇒ p = %v h, want ≈ 1.5 h", hours)
+	}
+	// And Phi() inverts WithPhi.
+	if got := p.Phi(); math.Abs(got-100000) > 1 {
+		t.Fatalf("Phi() = %v, want 100000", got)
+	}
+}
+
+func TestEfficiencyIdentity(t *testing.T) {
+	// E·M·N = n·p must hold exactly (definition of eq. 2).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := Params{
+			ImageBits:   rng.Float64() * 1e8,
+			Beta:        rng.Float64()*1e7 + 1,
+			Delta:       rng.Float64()*1e6 + 1,
+			N:           float64(rng.Intn(1e6) + 1),
+			Tasks:       float64(rng.Intn(1e7) + 1),
+			TaskInBits:  rng.Float64() * 1e5,
+			TaskOutBits: rng.Float64() * 1e5,
+			TaskSeconds: rng.Float64()*1000 + 1e-3,
+		}
+		lhs := p.Efficiency() * p.Makespan() * p.N
+		rhs := p.Tasks * p.TaskSeconds
+		return math.Abs(lhs-rhs) <= 1e-9*math.Max(lhs, rhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEfficiencyMonotoneInPhi(t *testing.T) {
+	// Figure 6's headline shape: E grows with Φ for fixed n/N.
+	base := Figure6Defaults(100, 10000)
+	prev := -1.0
+	for _, phi := range []float64{1, 10, 100, 1000, 10000, 100000} {
+		e := base.WithPhi(phi).Efficiency()
+		if e <= prev {
+			t.Fatalf("E not increasing at Φ=%v: %v after %v", phi, e, prev)
+		}
+		if e <= 0 || e > 1 {
+			t.Fatalf("E = %v out of (0,1]", e)
+		}
+		prev = e
+	}
+}
+
+func TestEfficiencyMonotoneInRatio(t *testing.T) {
+	// Higher n/N amortizes the wakeup: E grows with the ratio.
+	prev := -1.0
+	for _, ratio := range []float64{1, 10, 100, 1000} {
+		e := Figure6Defaults(ratio, 10000).WithPhi(100).Efficiency()
+		if e <= prev {
+			t.Fatalf("E not increasing at n/N=%v", ratio)
+		}
+		prev = e
+	}
+}
+
+func TestRatio100YieldsHighEfficiency(t *testing.T) {
+	// "A ratio above 100 is generally enough to yield very high
+	// efficiency for most practical applications."
+	e := Figure6Defaults(100, 10000).WithPhi(1000).Efficiency()
+	if e < 0.9 {
+		t.Fatalf("E = %v at n/N=100, Φ=1000; paper promises ≥ 0.9", e)
+	}
+}
+
+func TestMakespanDecomposition(t *testing.T) {
+	p := Figure6Defaults(10, 1000).WithPhi(100)
+	perTask := (p.TaskInBits+p.TaskOutBits)/p.Delta + p.TaskSeconds
+	want := p.Wakeup() + 10*perTask
+	if got := p.Makespan(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("M = %v, want %v", got, want)
+	}
+}
+
+func TestParametricPhiInfinite(t *testing.T) {
+	p := Params{TaskSeconds: 1, Delta: 1}
+	if !math.IsInf(p.Phi(), 1) {
+		t.Fatal("Φ of parametric app should be +Inf")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Figure6Defaults(1, 1)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Params{
+		{},
+		{Beta: 1},
+		{Beta: 1, Delta: 1},
+		{Beta: 1, Delta: 1, N: 1},
+		{Beta: 1, Delta: 1, N: 1, Tasks: 1},
+		{Beta: 1, Delta: 1, N: 1, Tasks: 1, TaskSeconds: 1, ImageBits: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params accepted", i)
+		}
+	}
+}
+
+func TestThroughputs(t *testing.T) {
+	p := Params{N: 100, TaskSeconds: 2}
+	if p.SingleThroughput() != 0.5 || p.IdealThroughput() != 50 {
+		t.Fatal("throughput helpers wrong")
+	}
+}
+
+func TestMakespanSynchronizedCeiling(t *testing.T) {
+	p := Figure6Defaults(1, 100).WithPhi(100)
+	p.Tasks = 101 // one task spills into a second round
+	one := p
+	one.Tasks = 100
+	d := p.MakespanSynchronized(512) - one.MakespanSynchronized(512)
+	if math.Abs(d-one.PerTaskSeconds(512)) > 1e-9 {
+		t.Fatalf("spill round costs %v, want one full service time %v", d, one.PerTaskSeconds(512))
+	}
+}
+
+func TestPerTaskSecondsComposition(t *testing.T) {
+	p := Params{Delta: 1000, TaskInBits: 500, TaskOutBits: 300, TaskSeconds: 2}
+	want := (512+500)/1000.0 + 2 + 300/1000.0
+	if got := p.PerTaskSeconds(512); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("per-task = %v, want %v", got, want)
+	}
+}
+
+func TestNodesForInvertsMakespan(t *testing.T) {
+	p := Figure6Defaults(100, 1) // N overwritten below
+	p = p.WithPhi(1000)
+	p.Tasks = 50000
+	target := 6000.0
+	n := p.NodesFor(target)
+	if n <= 0 {
+		t.Fatal("target reported unreachable")
+	}
+	p.N = n
+	if m := p.Makespan(); m > target {
+		t.Fatalf("N=%v gives makespan %v > target %v", n, m, target)
+	}
+	// One node fewer must miss the target (minimality).
+	p.N = n - 1
+	if n > 1 && p.Makespan() <= target {
+		t.Fatalf("N-1 also meets the target; NodesFor not minimal")
+	}
+	// Unreachable: target below the wakeup overhead.
+	if got := p.NodesFor(p.Wakeup() / 2); got != 0 {
+		t.Fatalf("unreachable target returned %v", got)
+	}
+}

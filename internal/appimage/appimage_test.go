@@ -1,0 +1,127 @@
+package appimage
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	im := &Image{
+		Name:       "blast-worker",
+		Version:    3,
+		EntryPoint: "botworker",
+		Payload:    bytes.Repeat([]byte{0xAB}, 100000),
+	}
+	raw, err := im.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, im) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+	if _, err := Decode(make([]byte, 32)); err == nil {
+		t.Fatal("zero magic accepted")
+	}
+	im := &Image{Name: "x", EntryPoint: "y", Payload: []byte{1, 2, 3}}
+	raw, _ := im.Encode()
+	if _, err := Decode(raw[:len(raw)-1]); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+func TestDigestVerify(t *testing.T) {
+	im := &Image{Name: "app", EntryPoint: "main", Payload: []byte("body")}
+	raw, _ := im.Encode()
+	d, err := im.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Verify(raw, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "app" {
+		t.Fatalf("verified image: %+v", got)
+	}
+	raw[len(raw)-1] ^= 1
+	if _, err := Verify(raw, d); err == nil {
+		t.Fatal("tampered image verified")
+	}
+}
+
+// Property: digest is content-determined and collision-evident for
+// single-byte changes.
+func TestDigestProperty(t *testing.T) {
+	f := func(payload []byte, flip uint8, pos uint16) bool {
+		im := &Image{Name: "p", EntryPoint: "e", Payload: payload}
+		d1, err := im.Digest()
+		if err != nil {
+			return false
+		}
+		d2, err := im.Digest()
+		if err != nil || d1 != d2 {
+			return false
+		}
+		if len(payload) == 0 || flip == 0 {
+			return true
+		}
+		mutated := append([]byte(nil), payload...)
+		mutated[int(pos)%len(mutated)] ^= flip
+		im2 := &Image{Name: "p", EntryPoint: "e", Payload: mutated}
+		d3, err := im2.Digest()
+		if err != nil {
+			return false
+		}
+		return d1 != d3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: arbitrary images round-trip.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, size uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		payload := make([]byte, size)
+		rng.Read(payload)
+		im := &Image{
+			Name:       "app",
+			Version:    rng.Uint32(),
+			EntryPoint: "entry",
+			Payload:    payload,
+		}
+		raw, err := im.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := Decode(raw)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got, im)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOversizedNamesRejected(t *testing.T) {
+	im := &Image{Name: string(make([]byte, 256))}
+	if _, err := im.Encode(); err == nil {
+		t.Fatal("256-byte name accepted")
+	}
+}

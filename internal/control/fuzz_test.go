@@ -1,0 +1,87 @@
+package control
+
+import (
+	"crypto/ed25519"
+	"math/rand"
+	"testing"
+	"time"
+
+	"oddci/internal/appimage"
+)
+
+// FuzzOpenAll hammers the envelope parser with arbitrary bytes: it must
+// never panic, and must never return a message for input that was not
+// signed by the key.
+func FuzzOpenAll(f *testing.F) {
+	pub, priv, err := ed25519.GenerateKey(rand.New(rand.NewSource(1)))
+	if err != nil {
+		f.Fatal(err)
+	}
+	w := &Wakeup{InstanceID: 1, Seq: 1, Probability: 0.5, ImageFile: "img",
+		HeartbeatPeriod: time.Minute}
+	valid, err := SignWakeup(w, priv)
+	if err != nil {
+		f.Fatal(err)
+	}
+	r, err := SignReset(&Reset{InstanceID: 2, Seq: 3}, priv)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(append(append([]byte{}, valid...), r...))
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0, 0})
+
+	otherPub, _, _ := ed25519.GenerateKey(rand.New(rand.NewSource(2)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msgs, err := OpenAll(data, pub)
+		if err == nil {
+			// Anything accepted must verify under the right key and be
+			// rejected under a different one.
+			if len(data) > 0 {
+				if _, err2 := OpenAll(data, otherPub); err2 == nil && len(msgs) > 0 {
+					t.Fatal("envelope verified under two unrelated keys")
+				}
+			}
+		}
+	})
+}
+
+// FuzzDecodeHeartbeat must never panic on arbitrary input.
+func FuzzDecodeHeartbeat(f *testing.F) {
+	hb := &Heartbeat{NodeID: 1, State: StateBusy, InstanceID: 2, SentAt: time.Unix(0, 0)}
+	f.Add(EncodeHeartbeat(hb))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := DecodeHeartbeat(data)
+		if err == nil && h == nil {
+			t.Fatal("nil heartbeat without error")
+		}
+	})
+}
+
+// FuzzAppImageDecode must never panic; Verify must reject any mutation.
+func FuzzAppImageDecode(f *testing.F) {
+	im := &appimage.Image{Name: "a", Version: 1, EntryPoint: "e", Payload: []byte("payload")}
+	raw, err := im.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(raw)
+	f.Add([]byte{})
+	digest := appimage.DigestOf(raw)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		appimage.Decode(data)
+		if _, err := appimage.Verify(data, digest); err == nil {
+			// Only the exact original bytes may verify.
+			if len(data) != len(raw) {
+				t.Fatal("digest verified wrong-length input")
+			}
+			for i := range data {
+				if data[i] != raw[i] {
+					t.Fatal("digest verified mutated input")
+				}
+			}
+		}
+	})
+}

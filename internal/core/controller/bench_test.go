@@ -1,0 +1,117 @@
+package controller
+
+import (
+	"crypto/ed25519"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"oddci/internal/control"
+	"oddci/internal/core/instance"
+	"oddci/internal/dsmcc"
+	"oddci/internal/middleware"
+	"oddci/internal/simtime"
+)
+
+// BenchmarkHandleHeartbeat measures the consolidation hot path — the
+// operation that bounds how many devices one Controller can track.
+func BenchmarkHandleHeartbeat(b *testing.B) {
+	clk := simtime.NewSim(time.Date(2009, 11, 1, 0, 0, 0, 0, time.UTC))
+	car, err := dsmcc.NewCarousel(0x300, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bcast, err := dsmcc.NewBroadcaster(clk, car, 1e6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	_, priv, err := ed25519.GenerateKey(rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctrl, err := New(Config{
+		Clock: clk, Broadcaster: bcast,
+		Signalling: middleware.NewSignalling(clk, 0),
+		Key:        priv, Rng: rng,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := ctrl.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer ctrl.Stop()
+
+	hb := &control.Heartbeat{
+		State:   control.StateIdle,
+		Profile: instance.DeviceProfile{Class: instance.ClassSTB, MemMB: 256, CPUScore: 100},
+		SentAt:  clk.Now(),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hb.NodeID = uint64(i%100000) + 1
+		ctrl.HandleHeartbeat(hb)
+	}
+}
+
+// BenchmarkHeartbeatCodec measures the wire codec used on every report.
+func BenchmarkHeartbeatCodec(b *testing.B) {
+	hb := &control.Heartbeat{
+		NodeID: 42, State: control.StateBusy, InstanceID: 7,
+		Profile: instance.DeviceProfile{Class: instance.ClassSTB, MemMB: 256, CPUScore: 100},
+		SentAt:  time.Unix(0, 0),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		raw := control.EncodeHeartbeat(hb)
+		if _, err := control.DecodeHeartbeat(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHandleHeartbeatParallel drives the sharded consolidator from
+// all cores: the scalability answer to the paper's footnote 3.
+func BenchmarkHandleHeartbeatParallel(b *testing.B) {
+	clk := simtime.NewSim(time.Date(2009, 11, 1, 0, 0, 0, 0, time.UTC))
+	car, err := dsmcc.NewCarousel(0x300, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bcast, err := dsmcc.NewBroadcaster(clk, car, 1e6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	_, priv, err := ed25519.GenerateKey(rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctrl, err := New(Config{
+		Clock: clk, Broadcaster: bcast,
+		Signalling: middleware.NewSignalling(clk, 0),
+		Key:        priv, Rng: rng,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := ctrl.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer ctrl.Stop()
+	profile := instance.DeviceProfile{Class: instance.ClassSTB, MemMB: 256, CPUScore: 100}
+	var next atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		base := next.Add(1) << 32
+		i := uint64(0)
+		hb := &control.Heartbeat{State: control.StateIdle, Profile: profile, SentAt: clk.Now()}
+		for pb.Next() {
+			i++
+			hb.NodeID = base | (i % 100000)
+			ctrl.HandleHeartbeat(hb)
+		}
+	})
+}

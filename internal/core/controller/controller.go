@@ -1,0 +1,719 @@
+// Package controller implements the OddCI Controller: the component
+// "in charge of setting up the infrastructure, as instructed by the
+// Provider, by formatting and sending through the broadcast channel the
+// control messages, including software images, necessary for building
+// and maintaining the OddCI instances" (§3.1).
+//
+// Concretely it owns the head-end: the DSM-CC carousel (PNA Xlet +
+// signed control file + application images) and the AIT signalling. On
+// the return path it consolidates PNA heartbeats, maintains instance
+// sizes (rebroadcasting wakeups to recompose instances that lost nodes,
+// trimming excess via reset commands in heartbeat replies), and reports
+// consolidated state to the Provider.
+package controller
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"oddci/internal/ait"
+	"oddci/internal/appimage"
+	"oddci/internal/control"
+	"oddci/internal/core/instance"
+	"oddci/internal/dsmcc"
+	"oddci/internal/middleware"
+	"oddci/internal/netsim"
+	"oddci/internal/simtime"
+)
+
+// HeadEnd is the transmitter-side view of any cyclic file-broadcast
+// service the Controller can manage content on: the DSM-CC carousel
+// broadcaster or an IP-multicast caster.
+type HeadEnd interface {
+	// Start begins cycling the initial contents.
+	Start(files []dsmcc.File) error
+	// Update replaces the contents at the next cycle boundary.
+	Update(files []dsmcc.File) error
+}
+
+// Config assembles a Controller.
+type Config struct {
+	Clock       simtime.Clock
+	Broadcaster HeadEnd
+	Signalling  *middleware.Signalling
+	// Key signs broadcast control messages.
+	Key ed25519.PrivateKey
+	// PNAXlet is the agent code carried in the carousel; PNAClassFile
+	// names it (default "pna.xlet").
+	PNAXlet      []byte
+	PNAClassFile string
+	// OrgID identifies the broadcaster in AIT entries.
+	OrgID uint32
+	// MaintenancePeriod is the instance-size control loop interval.
+	MaintenancePeriod time.Duration
+	// HeartbeatGrace is how many heartbeat periods may elapse before a
+	// silent node is presumed gone.
+	HeartbeatGrace int
+	// SafetyFactor overshoots recomposition probabilities to converge
+	// faster under estimation error.
+	SafetyFactor float64
+	// TargetHeartbeatRate, if positive, bounds the Controller's inbound
+	// heartbeat load: idle nodes are re-tuned (via heartbeat replies) so
+	// the whole population produces about this many heartbeats per
+	// second — §3.2's requirement that PNAs "be appropriately configured
+	// by the Controller so that the handling of these messages will not
+	// consume too much of the Controller's ... resources". Busy nodes
+	// keep their instance's period.
+	TargetHeartbeatRate float64
+	// MinHeartbeatPeriod and MaxHeartbeatPeriod clamp the adaptive
+	// period (defaults 10 s and 30 min).
+	MinHeartbeatPeriod time.Duration
+	MaxHeartbeatPeriod time.Duration
+	// OnWakeup, if set, observes every wakeup broadcast (initial and
+	// recompositions) — the tracing hook.
+	OnWakeup func(id instance.ID, seq uint32, probability float64)
+	// Rng seeds sequence jitter; required.
+	Rng *rand.Rand
+}
+
+func (c *Config) fill() error {
+	if c.Clock == nil || c.Broadcaster == nil || c.Signalling == nil {
+		return errors.New("controller: clock, broadcaster and signalling are required")
+	}
+	if len(c.Key) == 0 {
+		return errors.New("controller: signing key is required")
+	}
+	if c.Rng == nil {
+		return errors.New("controller: rng is required")
+	}
+	if c.PNAClassFile == "" {
+		c.PNAClassFile = "pna.xlet"
+	}
+	if len(c.PNAXlet) == 0 {
+		c.PNAXlet = []byte("oddci-pna-xlet-v1")
+	}
+	if c.MaintenancePeriod <= 0 {
+		c.MaintenancePeriod = time.Minute
+	}
+	if c.HeartbeatGrace <= 0 {
+		c.HeartbeatGrace = 3
+	}
+	if c.SafetyFactor <= 0 {
+		c.SafetyFactor = 1.2
+	}
+	if c.MinHeartbeatPeriod <= 0 {
+		c.MinHeartbeatPeriod = 10 * time.Second
+	}
+	if c.MaxHeartbeatPeriod <= 0 {
+		c.MaxHeartbeatPeriod = 30 * time.Minute
+	}
+	return nil
+}
+
+// InstanceSpec is the Provider's request for one OddCI instance.
+type InstanceSpec struct {
+	// Image is the application to stage.
+	Image *appimage.Image
+	// Target is the requested instance size in nodes.
+	Target int
+	// Requirements filter eligible devices.
+	Requirements instance.Requirements
+	// HeartbeatPeriod tunes member reporting (0 = PNA default).
+	HeartbeatPeriod time.Duration
+	// Lifetime auto-dismantles member DVEs (0 = until reset).
+	Lifetime time.Duration
+	// InitialProbability overrides the wakeup probability of the first
+	// broadcast; 0 lets the Controller derive it from the observed idle
+	// population.
+	InitialProbability float64
+}
+
+// InstanceStatus is the consolidated view passed to the Provider.
+type InstanceStatus struct {
+	ID       instance.ID
+	Target   int
+	Busy     int
+	Wakeups  int // wakeup broadcasts sent (1 + recompositions)
+	Resets   int
+	Trimming int // pending reset commands for excess nodes
+}
+
+type instState struct {
+	id           instance.ID
+	spec         InstanceSpec
+	imageFile    string
+	imageDigest  appimage.Digest
+	seq          uint32
+	wakeups      int
+	resets       int
+	trimPending  int
+	members      map[uint64]time.Time // busy nodes → last heartbeat
+	destroyed    bool
+	lastWakeup   *control.Wakeup
+	resetEnvOpen bool // a reset envelope for this id is on air
+}
+
+type nodeInfo struct {
+	state      control.NodeState
+	instanceID instance.ID
+	profile    instance.DeviceProfile
+	lastSeen   time.Time
+	hbPeriod   time.Duration
+}
+
+// nodeShardCount fixes the number of node-state shards. Heartbeat
+// consolidation locks only one shard plus (for busy nodes) the instance
+// table, so sessions on different shards proceed in parallel — the
+// first-order answer to the paper's footnote-3 Controller-bottleneck
+// question, measured by BenchmarkHandleHeartbeatParallel.
+const nodeShardCount = 64
+
+type nodeShard struct {
+	mu    sync.Mutex
+	nodes map[uint64]*nodeInfo
+}
+
+// Controller is the head-end component.
+type Controller struct {
+	cfg Config
+
+	mu         sync.Mutex
+	started    bool
+	aitVersion uint8
+	instances  map[instance.ID]*instState
+	order      []instance.ID
+	nextID     instance.ID
+	maint      simtime.Timer
+	stopped    bool
+
+	shards    [nodeShardCount]nodeShard
+	nodeCount atomic.Int64
+
+	// heartbeatsSeen counts processed heartbeats (load accounting).
+	heartbeatsSeen atomic.Int64
+}
+
+// HeartbeatsSeen reports how many heartbeats the Controller has
+// consolidated.
+func (c *Controller) HeartbeatsSeen() int64 { return c.heartbeatsSeen.Load() }
+
+func (c *Controller) shard(nodeID uint64) *nodeShard {
+	return &c.shards[nodeID%nodeShardCount]
+}
+
+// New builds a Controller.
+func New(cfg Config) (*Controller, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	c := &Controller{
+		cfg:       cfg,
+		instances: make(map[instance.ID]*instState),
+		nextID:    1,
+	}
+	for i := range c.shards {
+		c.shards[i].nodes = make(map[uint64]*nodeInfo)
+	}
+	return c, nil
+}
+
+// Start puts the PNA Xlet and an (empty) control file on air, signals
+// AUTOSTART, and begins the maintenance loop.
+func (c *Controller) Start() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.started {
+		return errors.New("controller: already started")
+	}
+	c.started = true
+	if err := c.cfg.Broadcaster.Start(c.carouselFilesLocked()); err != nil {
+		return fmt.Errorf("controller: start carousel: %w", err)
+	}
+	if err := c.publishAITLocked(); err != nil {
+		return err
+	}
+	c.scheduleMaintenanceLocked()
+	return nil
+}
+
+// Stop halts the maintenance loop (tests and experiment teardown).
+func (c *Controller) Stop() {
+	c.mu.Lock()
+	c.stopped = true
+	t := c.maint
+	c.maint = nil
+	c.mu.Unlock()
+	if t != nil {
+		t.Stop()
+	}
+}
+
+func (c *Controller) scheduleMaintenanceLocked() {
+	if c.stopped {
+		return
+	}
+	c.maint = c.cfg.Clock.AfterFunc(c.cfg.MaintenancePeriod, func() {
+		c.maintain()
+		c.mu.Lock()
+		c.scheduleMaintenanceLocked()
+		c.mu.Unlock()
+	})
+}
+
+// carouselFilesLocked assembles the current carousel contents in
+// module order: PNA Xlet, control file, then one image per live
+// instance. Order matters: a PNA that has just read the control file
+// continues straight into the image within the same cycle.
+func (c *Controller) carouselFilesLocked() []dsmcc.File {
+	files := []dsmcc.File{
+		{Name: c.cfg.PNAClassFile, Data: c.cfg.PNAXlet},
+		{Name: pnaConfigFile, Data: c.controlFileLocked()},
+	}
+	for _, st := range c.orderedLocked() {
+		if !st.destroyed {
+			raw, _ := st.spec.Image.Encode() // validated at Create
+			files = append(files, dsmcc.File{Name: st.imageFile, Data: raw})
+		}
+	}
+	return files
+}
+
+const pnaConfigFile = "oddci.config"
+
+func (c *Controller) orderedLocked() []*instState {
+	out := make([]*instState, 0, len(c.order))
+	for _, id := range c.order {
+		if st, ok := c.instances[id]; ok {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// controlFileLocked concatenates the live signed envelopes: the latest
+// wakeup per live instance plus resets for recently destroyed ones.
+func (c *Controller) controlFileLocked() []byte {
+	var out []byte
+	for _, st := range c.orderedLocked() {
+		if st.destroyed {
+			if st.resetEnvOpen {
+				raw, err := control.SignReset(&control.Reset{InstanceID: st.id, Seq: st.seq}, c.cfg.Key)
+				if err == nil {
+					out = append(out, raw...)
+				}
+			}
+			continue
+		}
+		if st.lastWakeup != nil {
+			raw, err := control.SignWakeup(st.lastWakeup, c.cfg.Key)
+			if err == nil {
+				out = append(out, raw...)
+			}
+		}
+	}
+	return out
+}
+
+func (c *Controller) publishAITLocked() error {
+	c.aitVersion = (c.aitVersion + 1) & 0x1F
+	table := &ait.AIT{
+		Type:    ait.TypeDVBJ,
+		Version: c.aitVersion,
+		Applications: []ait.Application{{
+			OrgID:       c.cfg.OrgID,
+			AppID:       1,
+			ControlCode: ait.Autostart,
+			Name:        "OddCI-PNA",
+			ClassFile:   c.cfg.PNAClassFile,
+		}},
+	}
+	return c.cfg.Signalling.Publish(table)
+}
+
+// refreshCarouselLocked pushes the current contents to the broadcaster
+// (committed at the next cycle boundary).
+func (c *Controller) refreshCarouselLocked() error {
+	return c.cfg.Broadcaster.Update(c.carouselFilesLocked())
+}
+
+// idleEligibleLocked estimates the idle population matching req from
+// heartbeat state. Callers hold c.mu; shard locks are taken briefly per
+// shard (global → shard ordering is the allowed direction).
+func (c *Controller) idleEligibleLocked(req instance.Requirements, now time.Time) int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for _, ni := range sh.nodes {
+			if ni.state != control.StateIdle {
+				continue
+			}
+			if !req.Match(ni.profile) {
+				continue
+			}
+			if c.stale(ni, now) {
+				continue
+			}
+			n++
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// relDiff returns |a-b|/b for positive durations.
+func relDiff(a, b time.Duration) float64 {
+	d := (a - b).Seconds()
+	if d < 0 {
+		d = -d
+	}
+	return d / b.Seconds()
+}
+
+// stale reports whether a node has missed its grace window; the caller
+// holds the node's shard lock.
+func (c *Controller) stale(ni *nodeInfo, now time.Time) bool {
+	period := ni.hbPeriod
+	if period <= 0 {
+		period = time.Minute
+	}
+	return now.Sub(ni.lastSeen) > time.Duration(c.cfg.HeartbeatGrace)*period
+}
+
+// probabilityFor sizes the wakeup probability: target surplus nodes
+// from an idle population of size pop.
+func (c *Controller) probabilityFor(deficit, pop int) float64 {
+	if pop <= 0 {
+		return 1
+	}
+	p := c.cfg.SafetyFactor * float64(deficit) / float64(pop)
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// CreateInstance provisions a new OddCI instance: the image goes on the
+// carousel and a signed wakeup is broadcast.
+func (c *Controller) CreateInstance(spec InstanceSpec) (instance.ID, error) {
+	if spec.Image == nil {
+		return 0, errors.New("controller: instance needs an image")
+	}
+	if spec.Target <= 0 {
+		return 0, errors.New("controller: target size must be positive")
+	}
+	if spec.InitialProbability < 0 || spec.InitialProbability > 1 {
+		return 0, errors.New("controller: initial probability out of [0,1]")
+	}
+	digest, err := spec.Image.Digest()
+	if err != nil {
+		return 0, fmt.Errorf("controller: image: %w", err)
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.started {
+		return 0, errors.New("controller: not started")
+	}
+	id := c.nextID
+	c.nextID++
+	st := &instState{
+		id:          id,
+		spec:        spec,
+		imageFile:   fmt.Sprintf("image.%d", id),
+		imageDigest: digest,
+		members:     make(map[uint64]time.Time),
+	}
+	prob := spec.InitialProbability
+	if prob == 0 {
+		prob = c.probabilityFor(spec.Target, c.idleEligibleLocked(spec.Requirements, c.cfg.Clock.Now()))
+	}
+	st.seq = 1
+	st.wakeups = 1
+	st.lastWakeup = &control.Wakeup{
+		InstanceID:      id,
+		Seq:             st.seq,
+		Probability:     prob,
+		Requirements:    spec.Requirements,
+		ImageFile:       st.imageFile,
+		ImageDigest:     digest,
+		HeartbeatPeriod: spec.HeartbeatPeriod,
+		Lifetime:        spec.Lifetime,
+	}
+	c.instances[id] = st
+	c.order = append(c.order, id)
+	if err := c.refreshCarouselLocked(); err != nil {
+		delete(c.instances, id)
+		c.order = c.order[:len(c.order)-1]
+		return 0, err
+	}
+	if c.cfg.OnWakeup != nil {
+		c.cfg.OnWakeup(id, st.seq, prob)
+	}
+	return id, nil
+}
+
+// Resize changes an instance's target size. Shrinking trims via
+// heartbeat replies; growing is handled by the next maintenance pass.
+func (c *Controller) Resize(id instance.ID, target int) error {
+	if target < 0 {
+		return errors.New("controller: negative target")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.instances[id]
+	if !ok || st.destroyed {
+		return fmt.Errorf("controller: unknown instance %d", id)
+	}
+	st.spec.Target = target
+	if excess := len(st.members) - target; excess > 0 {
+		st.trimPending = excess
+	} else {
+		st.trimPending = 0
+	}
+	return nil
+}
+
+// DestroyInstance dismantles an instance: a signed reset goes on air
+// and the image leaves the carousel.
+func (c *Controller) DestroyInstance(id instance.ID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.instances[id]
+	if !ok || st.destroyed {
+		return fmt.Errorf("controller: unknown instance %d", id)
+	}
+	st.destroyed = true
+	st.resetEnvOpen = true
+	st.seq++
+	st.resets++
+	return c.refreshCarouselLocked()
+}
+
+// Status reports the consolidated instance view.
+func (c *Controller) Status(id instance.ID) (InstanceStatus, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.instances[id]
+	if !ok {
+		return InstanceStatus{}, fmt.Errorf("controller: unknown instance %d", id)
+	}
+	return InstanceStatus{
+		ID:       id,
+		Target:   st.spec.Target,
+		Busy:     len(st.members),
+		Wakeups:  st.wakeups,
+		Resets:   st.resets,
+		Trimming: st.trimPending,
+	}, nil
+}
+
+// Population reports (alive idle, alive busy) node counts from
+// heartbeat state.
+func (c *Controller) Population() (idle, busy int) {
+	now := c.cfg.Clock.Now()
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for _, ni := range sh.nodes {
+			if c.stale(ni, now) {
+				continue
+			}
+			if ni.state == control.StateBusy {
+				busy++
+			} else {
+				idle++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return idle, busy
+}
+
+// maintain is the periodic control loop: expire silent nodes, recompose
+// deficient instances, keep trim counters consistent.
+func (c *Controller) maintain() {
+	c.mu.Lock()
+	now := c.cfg.Clock.Now()
+	// Expire silent nodes shard by shard.
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for id, ni := range sh.nodes {
+			if c.stale(ni, now) {
+				if st, ok := c.instances[ni.instanceID]; ok {
+					delete(st.members, id)
+				}
+				delete(sh.nodes, id)
+				c.nodeCount.Add(-1)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	refresh := false
+	for _, st := range c.instances {
+		if st.destroyed {
+			continue
+		}
+		// Drop members whose heartbeats stopped.
+		for nid := range st.members {
+			sh := c.shard(nid)
+			sh.mu.Lock()
+			ni := sh.nodes[nid]
+			gone := ni == nil || c.stale(ni, now) || ni.instanceID != st.id
+			sh.mu.Unlock()
+			if gone {
+				delete(st.members, nid)
+			}
+		}
+		deficit := st.spec.Target - len(st.members)
+		if deficit < 0 {
+			// Probabilistic sizing overshot: trim the excess through
+			// heartbeat replies.
+			st.trimPending = -deficit
+		}
+		if deficit > 0 && st.trimPending == 0 {
+			pop := c.idleEligibleLocked(st.spec.Requirements, now)
+			if pop > 0 {
+				st.seq++
+				st.wakeups++
+				w := *st.lastWakeup
+				w.Seq = st.seq
+				w.Probability = c.probabilityFor(deficit, pop)
+				st.lastWakeup = &w
+				refresh = true
+				if c.cfg.OnWakeup != nil {
+					c.cfg.OnWakeup(st.id, st.seq, w.Probability)
+				}
+			}
+		}
+	}
+	if refresh {
+		if err := c.refreshCarouselLocked(); err != nil {
+			// The update re-runs on the next maintenance tick.
+			refresh = false
+		}
+	}
+	c.mu.Unlock()
+}
+
+// ServeNode runs the heartbeat session for one node's direct channel.
+// The system wiring spawns one per device.
+func (c *Controller) ServeNode(ep *netsim.Endpoint) {
+	for {
+		pkt, err := ep.Recv()
+		if err != nil {
+			return
+		}
+		raw, ok := pkt.Payload.([]byte)
+		if !ok {
+			continue
+		}
+		hb, err := control.DecodeHeartbeat(raw)
+		if err != nil {
+			continue
+		}
+		reply := c.HandleHeartbeat(hb)
+		ep.Send(pkt.From, control.EncodeHeartbeatReply(reply), control.HeartbeatReplyWireSize)
+	}
+}
+
+// HandleHeartbeat consolidates one report and decides the reply. It is
+// the hot path behind ServeNode, exported for load benchmarks. Idle
+// heartbeats (the bulk at scale) touch only the node's shard; busy ones
+// additionally take the instance table. Shard locks are never held
+// while acquiring c.mu.
+func (c *Controller) HandleHeartbeat(hb *control.Heartbeat) *control.HeartbeatReply {
+	c.heartbeatsSeen.Add(1)
+	now := c.cfg.Clock.Now()
+	sh := c.shard(hb.NodeID)
+
+	sh.mu.Lock()
+	ni := sh.nodes[hb.NodeID]
+	if ni == nil {
+		ni = &nodeInfo{}
+		sh.nodes[hb.NodeID] = ni
+		c.nodeCount.Add(1)
+	}
+	oldInstance := ni.instanceID
+	ni.state = hb.State
+	ni.instanceID = hb.InstanceID
+	ni.profile = hb.Profile
+	ni.lastSeen = now
+
+	reply := &control.HeartbeatReply{Command: control.CmdNone}
+	if hb.State == control.StateIdle && c.cfg.TargetHeartbeatRate > 0 {
+		// Back-pressure: spread the idle population's reports over the
+		// target rate.
+		desired := time.Duration(float64(c.nodeCount.Load()) / c.cfg.TargetHeartbeatRate * float64(time.Second))
+		if desired < c.cfg.MinHeartbeatPeriod {
+			desired = c.cfg.MinHeartbeatPeriod
+		}
+		if desired > c.cfg.MaxHeartbeatPeriod {
+			desired = c.cfg.MaxHeartbeatPeriod
+		}
+		cur := ni.hbPeriod
+		if cur <= 0 || relDiff(cur, desired) > 0.2 {
+			reply.Period = desired
+			ni.hbPeriod = desired
+		}
+	}
+	sh.mu.Unlock()
+
+	if oldInstance == hb.InstanceID && hb.State != control.StateBusy {
+		return reply // pure idle refresh: no instance bookkeeping
+	}
+
+	c.mu.Lock()
+	// Membership bookkeeping on instance changes.
+	if oldInstance != hb.InstanceID {
+		if old, ok := c.instances[oldInstance]; ok {
+			delete(old.members, hb.NodeID)
+		}
+	}
+	var trimmed bool
+	var instancePeriod time.Duration
+	if hb.State == control.StateBusy {
+		st, ok := c.instances[hb.InstanceID]
+		switch {
+		case !ok || st.destroyed:
+			// Stray member of a dismantled instance: reset it.
+			reply.Command = control.CmdReset
+			if ok {
+				st.resets++
+			}
+		case st.trimPending > 0:
+			st.trimPending--
+			st.resets++
+			delete(st.members, hb.NodeID)
+			trimmed = true
+			reply.Command = control.CmdReset
+		default:
+			st.members[hb.NodeID] = now
+		}
+		if ok && st.spec.HeartbeatPeriod > 0 {
+			instancePeriod = st.spec.HeartbeatPeriod
+		}
+	}
+	c.mu.Unlock()
+
+	if trimmed || instancePeriod > 0 {
+		sh.mu.Lock()
+		if cur := sh.nodes[hb.NodeID]; cur != nil {
+			if trimmed {
+				cur.state = control.StateIdle
+				cur.instanceID = 0
+			}
+			if instancePeriod > 0 {
+				cur.hbPeriod = instancePeriod
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return reply
+}

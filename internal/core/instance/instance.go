@@ -1,0 +1,125 @@
+// Package instance holds the types shared across the OddCI control
+// plane: instance identifiers, device profiles, and the requirement
+// matching a PNA performs against a wakeup message ("the PNA assesses
+// its own compliance with the requirements present in the message").
+package instance
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ID identifies one OddCI instance.
+type ID uint64
+
+// DeviceClass partitions the heterogeneous device population reachable
+// by a broadcast network.
+type DeviceClass uint8
+
+// Device classes from §3 of the paper.
+const (
+	AnyClass DeviceClass = iota
+	ClassSTB
+	ClassMobile
+	ClassDesktop
+	ClassConsole
+)
+
+// String implements fmt.Stringer.
+func (c DeviceClass) String() string {
+	switch c {
+	case AnyClass:
+		return "any"
+	case ClassSTB:
+		return "stb"
+	case ClassMobile:
+		return "mobile"
+	case ClassDesktop:
+		return "desktop"
+	case ClassConsole:
+		return "console"
+	default:
+		return fmt.Sprintf("DeviceClass(%d)", uint8(c))
+	}
+}
+
+// DeviceProfile describes one processing node's capabilities.
+type DeviceProfile struct {
+	Class DeviceClass
+	// MemMB is the device's memory in megabytes (the prototype STB had
+	// 256 MB).
+	MemMB uint32
+	// CPUScore is relative compute capability; 100 is the reference STB.
+	CPUScore uint32
+}
+
+// Requirements is the compliance filter a wakeup message carries.
+type Requirements struct {
+	// Class restricts the device class (AnyClass accepts all).
+	Class DeviceClass
+	// MinMemMB and MinCPUScore set floors (0 = no floor).
+	MinMemMB    uint32
+	MinCPUScore uint32
+}
+
+// Match reports whether a device satisfies the requirements.
+func (r Requirements) Match(p DeviceProfile) bool {
+	if r.Class != AnyClass && r.Class != p.Class {
+		return false
+	}
+	if p.MemMB < r.MinMemMB {
+		return false
+	}
+	if p.CPUScore < r.MinCPUScore {
+		return false
+	}
+	return true
+}
+
+// encodedLen is the wire size of Requirements and DeviceProfile.
+const encodedLen = 9
+
+// Encode appends the wire form of r to b.
+func (r Requirements) Encode(b []byte) []byte {
+	b = append(b, byte(r.Class))
+	b = binary.BigEndian.AppendUint32(b, r.MinMemMB)
+	b = binary.BigEndian.AppendUint32(b, r.MinCPUScore)
+	return b
+}
+
+// DecodeRequirements reads a Requirements from the front of b, returning
+// the remainder.
+func DecodeRequirements(b []byte) (Requirements, []byte, error) {
+	if len(b) < encodedLen {
+		return Requirements{}, nil, errors.New("instance: truncated requirements")
+	}
+	r := Requirements{
+		Class:       DeviceClass(b[0]),
+		MinMemMB:    binary.BigEndian.Uint32(b[1:]),
+		MinCPUScore: binary.BigEndian.Uint32(b[5:]),
+	}
+	return r, b[encodedLen:], nil
+}
+
+// Encode appends the wire form of p to b.
+func (p DeviceProfile) Encode(b []byte) []byte {
+	b = append(b, byte(p.Class))
+	b = binary.BigEndian.AppendUint32(b, p.MemMB)
+	b = binary.BigEndian.AppendUint32(b, p.CPUScore)
+	return b
+}
+
+// DecodeProfile reads a DeviceProfile from the front of b, returning the
+// remainder.
+func DecodeProfile(b []byte) (DeviceProfile, []byte, error) {
+	if len(b) < encodedLen {
+		return DeviceProfile{}, nil, errors.New("instance: truncated profile")
+	}
+	p := DeviceProfile{
+		Class:    DeviceClass(b[0]),
+		MemMB:    binary.BigEndian.Uint32(b[1:]),
+		CPUScore: binary.BigEndian.Uint32(b[5:]),
+	}
+	return p, b[encodedLen:], nil
+}

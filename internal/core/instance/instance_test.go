@@ -1,0 +1,78 @@
+package instance
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatchSemantics(t *testing.T) {
+	p := DeviceProfile{Class: ClassMobile, MemMB: 64, CPUScore: 40}
+	if !(Requirements{}).Match(p) {
+		t.Fatal("empty requirements must match everything")
+	}
+	if (Requirements{Class: ClassSTB}).Match(p) {
+		t.Fatal("class mismatch accepted")
+	}
+	if (Requirements{MinMemMB: 65}).Match(p) {
+		t.Fatal("memory floor violated")
+	}
+	if !(Requirements{Class: ClassMobile, MinMemMB: 64, MinCPUScore: 40}).Match(p) {
+		t.Fatal("exact floors rejected")
+	}
+}
+
+// Property: requirements and profiles round-trip on the wire, and Match
+// is invariant under encoding.
+func TestWireRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := Requirements{
+			Class:       DeviceClass(rng.Intn(5)),
+			MinMemMB:    rng.Uint32(),
+			MinCPUScore: rng.Uint32(),
+		}
+		p := DeviceProfile{
+			Class:    DeviceClass(rng.Intn(5)),
+			MemMB:    rng.Uint32(),
+			CPUScore: rng.Uint32(),
+		}
+		rb := r.Encode(nil)
+		pb := p.Encode(nil)
+		r2, rest, err := DecodeRequirements(rb)
+		if err != nil || len(rest) != 0 || r2 != r {
+			return false
+		}
+		p2, rest, err := DecodeProfile(pb)
+		if err != nil || len(rest) != 0 || p2 != p {
+			return false
+		}
+		return r.Match(p) == r2.Match(p2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	if _, _, err := DecodeRequirements(make([]byte, 8)); err == nil {
+		t.Fatal("truncated requirements accepted")
+	}
+	if _, _, err := DecodeProfile(nil); err == nil {
+		t.Fatal("empty profile accepted")
+	}
+}
+
+func TestDeviceClassString(t *testing.T) {
+	for c, want := range map[DeviceClass]string{
+		AnyClass: "any", ClassSTB: "stb", ClassMobile: "mobile",
+		ClassDesktop: "desktop", ClassConsole: "console",
+	} {
+		if c.String() != want {
+			t.Errorf("%d → %q", uint8(c), c.String())
+		}
+	}
+	if DeviceClass(200).String() == "" {
+		t.Fatal("unknown class empty")
+	}
+}

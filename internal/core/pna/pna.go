@@ -1,0 +1,503 @@
+// Package pna implements the Processing Node Agent: the OddCI component
+// resident on every device reachable by the broadcast network. It is
+// written as an Xlet (the OddCI-DTV realization of §4.3): AUTOSTART
+// launches it on every tuned receiver, after which it listens to the
+// carousel for signed control messages, reports its state over the
+// direct channel through periodic heartbeats, and runs application
+// images inside disposable virtual environments.
+//
+// Behaviour per §3.2:
+//   - only messages signed by the associated Controller are accepted;
+//   - busy PNAs drop wakeup messages;
+//   - idle PNAs handle a wakeup with the probability it carries;
+//   - a compliant idle PNA fetches the image, verifies its digest,
+//     creates a DVE and switches to busy;
+//   - reset messages (broadcast, or piggybacked on heartbeat replies)
+//     destroy the DVE and switch the PNA back to idle.
+package pna
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"oddci/internal/appimage"
+	"oddci/internal/control"
+	"oddci/internal/core/dve"
+	"oddci/internal/core/instance"
+	"oddci/internal/netsim"
+	"oddci/internal/simtime"
+	"oddci/internal/xlet"
+)
+
+// DefaultConfigFile is the carousel file carrying control messages.
+const DefaultConfigFile = "oddci.config"
+
+// Dialer opens a direct channel, returning the local endpoint and a
+// hangup function.
+type Dialer func() (*netsim.Endpoint, func())
+
+// Config parameterizes a PNA.
+type Config struct {
+	NodeID  uint64
+	Profile instance.DeviceProfile
+	// ControllerKey authenticates broadcast control messages.
+	ControllerKey ed25519.PublicKey
+	// DialController and DialBackend open the two direct channels.
+	DialController Dialer
+	DialBackend    Dialer
+	// Registry resolves image entry points.
+	Registry *dve.Registry
+	// TaskDuration is the device performance model (nil = identity).
+	TaskDuration func(refSTBSeconds float64) time.Duration
+	// Rng drives the probability gate and heartbeat jitter. Required.
+	Rng *rand.Rand
+	// DefaultHeartbeat applies before any wakeup tunes the period.
+	DefaultHeartbeat time.Duration
+	// HeartbeatTimeout bounds the reply wait.
+	HeartbeatTimeout time.Duration
+	// ConfigFile overrides DefaultConfigFile.
+	ConfigFile string
+	// OnStateChange observes idle/busy transitions (experiment hooks).
+	OnStateChange func(nodeID uint64, st control.NodeState, inst instance.ID)
+}
+
+func (c *Config) fill() error {
+	if c.Rng == nil {
+		return errors.New("pna: rng is required")
+	}
+	if c.DialController == nil {
+		return errors.New("pna: controller dialer is required")
+	}
+	if c.Registry == nil {
+		return errors.New("pna: registry is required")
+	}
+	if len(c.ControllerKey) == 0 {
+		return errors.New("pna: controller key is required")
+	}
+	if c.DefaultHeartbeat <= 0 {
+		c.DefaultHeartbeat = time.Minute
+	}
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = 10 * time.Second
+	}
+	if c.ConfigFile == "" {
+		c.ConfigFile = DefaultConfigFile
+	}
+	return nil
+}
+
+// NewFactory returns an Xlet factory producing PNA instances, ready to
+// register with a receiver's middleware under the PNA class file name.
+// Each instance gets its own rand stream derived from cfg.Rng, so an
+// agent outliving a power cycle never races its successor.
+func NewFactory(cfg Config) (xlet.Factory, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	var mu sync.Mutex
+	seeds := cfg.Rng
+	return func() xlet.Xlet {
+		mu.Lock()
+		seed := seeds.Int63()
+		mu.Unlock()
+		c := cfg
+		c.Rng = rand.New(rand.NewSource(seed))
+		return &PNA{cfg: c}
+	}, nil
+}
+
+// PNA is one agent instance. Its lifetime is one middleware launch; a
+// power cycle produces a fresh instance.
+type PNA struct {
+	cfg Config
+	ctx xlet.Context
+
+	mu             sync.Mutex
+	rngMu          sync.Mutex // cfg.Rng: heartbeat jitter races the probability gate under the wall clock
+	state          control.NodeState
+	instID         instance.ID
+	d              *dve.DVE
+	seenSeq        map[instance.ID]uint32
+	hbPeriod       time.Duration
+	hbInterrupt    simtime.Interrupter
+	ctrl           *netsim.Endpoint
+	ctrlHangup     func()
+	cancelCarousel func()
+	lifetimeTimer  simtime.Timer
+	tasksDone      uint32
+	destroyed      bool
+	started        bool
+
+	// Drops counts wakeups discarded by the probability gate;
+	// Rejections counts signature/digest failures. Experiment hooks.
+	Drops      int
+	Rejections int
+}
+
+// State returns the agent's current state and instance.
+func (p *PNA) State() (control.NodeState, instance.ID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.state, p.instID
+}
+
+// TasksDone returns the completed-task counter.
+func (p *PNA) TasksDone() uint32 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.tasksDone
+}
+
+// InitXlet implements xlet.Xlet.
+func (p *PNA) InitXlet(ctx xlet.Context) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ctx = ctx
+	p.seenSeq = make(map[instance.ID]uint32)
+	p.hbPeriod = p.cfg.DefaultHeartbeat
+	return nil
+}
+
+// StartXlet implements xlet.Xlet: dial the Controller, watch the
+// carousel, start heartbeating, and process any control message already
+// on air.
+func (p *PNA) StartXlet() error {
+	p.mu.Lock()
+	if p.ctx == nil {
+		p.mu.Unlock()
+		return errors.New("pna: not initialized")
+	}
+	if p.started {
+		p.mu.Unlock()
+		return nil
+	}
+	p.started = true
+	ep, hangup := p.cfg.DialController()
+	p.ctrl = ep
+	p.ctrlHangup = hangup
+	ctx := p.ctx
+	p.mu.Unlock()
+
+	p.mu.Lock()
+	p.cancelCarousel = ctx.OnCarouselUpdate(p.checkConfig)
+	p.mu.Unlock()
+	ctx.Go(p.heartbeatLoop)
+	p.checkConfig()
+	return nil
+}
+
+// PauseXlet implements xlet.Xlet. The PNA keeps heartbeating while
+// paused (the receiver is still powered); pausing only matters for
+// foreground applications.
+func (p *PNA) PauseXlet() {}
+
+// DestroyXlet implements xlet.Xlet.
+func (p *PNA) DestroyXlet(unconditional bool) error {
+	p.mu.Lock()
+	if !unconditional && p.state == control.StateBusy {
+		p.mu.Unlock()
+		return errors.New("pna: busy executing an instance")
+	}
+	if p.destroyed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.destroyed = true
+	cancelCarousel := p.cancelCarousel
+	d := p.d
+	p.d = nil
+	ctrl := p.ctrl
+	hangup := p.ctrlHangup
+	lt := p.lifetimeTimer
+	p.mu.Unlock()
+
+	if cancelCarousel != nil {
+		cancelCarousel()
+	}
+	if lt != nil {
+		lt.Stop()
+	}
+	p.hbInterrupt.Cancel()
+	if d != nil {
+		d.Destroy()
+	}
+	if ctrl != nil {
+		ctrl.Close()
+	}
+	if hangup != nil {
+		hangup()
+	}
+	return nil
+}
+
+// checkConfig fetches and processes the control file currently on the
+// carousel.
+func (p *PNA) checkConfig() {
+	p.mu.Lock()
+	ctx := p.ctx
+	destroyed := p.destroyed
+	p.mu.Unlock()
+	if destroyed || ctx == nil {
+		return
+	}
+	ctx.ReadFile(p.cfg.ConfigFile, func(data []byte, err error) {
+		if err != nil {
+			return // no control message on air
+		}
+		msgs, err := control.OpenAll(data, p.cfg.ControllerKey)
+		if err != nil {
+			p.mu.Lock()
+			p.Rejections++
+			p.mu.Unlock()
+			return
+		}
+		for _, msg := range msgs {
+			switch m := msg.(type) {
+			case *control.Wakeup:
+				p.handleWakeup(m)
+			case *control.Reset:
+				p.handleReset(m)
+			}
+		}
+	})
+}
+
+// handleWakeup applies §3.2's wakeup rules.
+func (p *PNA) handleWakeup(w *control.Wakeup) {
+	p.mu.Lock()
+	if p.destroyed {
+		p.mu.Unlock()
+		return
+	}
+	if last, ok := p.seenSeq[w.InstanceID]; ok && w.Seq <= last {
+		p.mu.Unlock()
+		return // retransmission already evaluated
+	}
+	p.seenSeq[w.InstanceID] = w.Seq
+	if p.state == control.StateBusy {
+		p.mu.Unlock()
+		return // busy PNAs drop wakeups
+	}
+	if !w.Requirements.Match(p.cfg.Profile) {
+		p.mu.Unlock()
+		return
+	}
+	p.rngMu.Lock()
+	draw := p.cfg.Rng.Float64()
+	p.rngMu.Unlock()
+	if draw >= w.Probability {
+		p.Drops++
+		p.mu.Unlock()
+		return
+	}
+	// Committed: become busy immediately so concurrent wakeups are
+	// dropped while the image downloads.
+	p.state = control.StateBusy
+	p.instID = w.InstanceID
+	if w.HeartbeatPeriod > 0 {
+		p.hbPeriod = w.HeartbeatPeriod
+	}
+	ctx := p.ctx
+	hook := p.cfg.OnStateChange
+	p.mu.Unlock()
+	if hook != nil {
+		hook(p.cfg.NodeID, control.StateBusy, w.InstanceID)
+	}
+
+	ctx.ReadFile(w.ImageFile, func(data []byte, err error) {
+		if err != nil {
+			p.abortJoin(w.InstanceID, fmt.Errorf("image fetch: %w", err))
+			return
+		}
+		img, err := appimage.Verify(data, w.ImageDigest)
+		if err != nil {
+			p.mu.Lock()
+			p.Rejections++
+			p.mu.Unlock()
+			p.abortJoin(w.InstanceID, err)
+			return
+		}
+		p.launchDVE(w, img)
+	})
+}
+
+// abortJoin reverts a failed join to idle.
+func (p *PNA) abortJoin(id instance.ID, _ error) {
+	p.mu.Lock()
+	if p.instID != id || p.state != control.StateBusy || p.d != nil {
+		p.mu.Unlock()
+		return
+	}
+	p.state = control.StateIdle
+	p.instID = 0
+	hook := p.cfg.OnStateChange
+	p.mu.Unlock()
+	if hook != nil {
+		hook(p.cfg.NodeID, control.StateIdle, 0)
+	}
+}
+
+// launchDVE creates the environment and runs the image.
+func (p *PNA) launchDVE(w *control.Wakeup, img *appimage.Image) {
+	p.mu.Lock()
+	if p.destroyed || p.instID != w.InstanceID {
+		p.mu.Unlock()
+		return
+	}
+	clk := p.ctx.Clock()
+	p.mu.Unlock()
+
+	var backend *netsim.Endpoint
+	var hangup func()
+	if p.cfg.DialBackend != nil {
+		backend, hangup = p.cfg.DialBackend()
+	}
+	d, err := dve.Launch(dve.Config{
+		Clock:        clk,
+		Registry:     p.cfg.Registry,
+		Image:        img,
+		NodeID:       p.cfg.NodeID,
+		InstanceID:   w.InstanceID,
+		Backend:      backend,
+		Hangup:       hangup,
+		TaskDuration: p.cfg.TaskDuration,
+		OnTask: func() {
+			p.mu.Lock()
+			p.tasksDone++
+			p.mu.Unlock()
+		},
+		OnExit: func(error) { p.resetInstance(w.InstanceID) },
+	})
+	if err != nil {
+		if hangup != nil {
+			hangup()
+		}
+		p.mu.Lock()
+		p.Rejections++
+		p.mu.Unlock()
+		p.abortJoin(w.InstanceID, err)
+		return
+	}
+	p.mu.Lock()
+	if p.destroyed {
+		p.mu.Unlock()
+		d.Destroy()
+		return
+	}
+	p.d = d
+	if w.Lifetime > 0 {
+		id := w.InstanceID
+		p.lifetimeTimer = clk.AfterFunc(w.Lifetime, func() { p.resetInstance(id) })
+	}
+	p.mu.Unlock()
+}
+
+// handleReset applies a broadcast reset.
+func (p *PNA) handleReset(r *control.Reset) {
+	p.mu.Lock()
+	target := p.instID
+	p.mu.Unlock()
+	if r.InstanceID == 0 || r.InstanceID == target {
+		p.resetInstance(target)
+	}
+}
+
+// resetInstance destroys the DVE (if any) and returns to idle.
+func (p *PNA) resetInstance(id instance.ID) {
+	p.mu.Lock()
+	if p.instID != id || p.state != control.StateBusy {
+		p.mu.Unlock()
+		return
+	}
+	d := p.d
+	p.d = nil
+	lt := p.lifetimeTimer
+	p.lifetimeTimer = nil
+	p.state = control.StateIdle
+	p.instID = 0
+	hook := p.cfg.OnStateChange
+	p.mu.Unlock()
+	if lt != nil {
+		lt.Stop()
+	}
+	if d != nil {
+		d.Destroy()
+	}
+	if hook != nil {
+		hook(p.cfg.NodeID, control.StateIdle, 0)
+	}
+}
+
+// heartbeatLoop reports state to the Controller at the configured
+// period (with an initial random phase so a million PNAs do not
+// synchronize) and applies reply commands.
+func (p *PNA) heartbeatLoop() {
+	p.mu.Lock()
+	clk := p.ctx.Clock()
+	period := p.hbPeriod
+	ctrl := p.ctrl
+	p.mu.Unlock()
+
+	// Initial phase jitter.
+	if period > 0 {
+		p.rngMu.Lock()
+		jitter := time.Duration(p.cfg.Rng.Int63n(int64(period)))
+		p.rngMu.Unlock()
+		if !p.hbInterrupt.Sleep(clk, jitter) {
+			return
+		}
+	}
+	for {
+		p.mu.Lock()
+		if p.destroyed {
+			p.mu.Unlock()
+			return
+		}
+		hb := &control.Heartbeat{
+			NodeID:     p.cfg.NodeID,
+			State:      p.state,
+			InstanceID: p.instID,
+			Profile:    p.cfg.Profile,
+			TasksDone:  p.tasksDone,
+			SentAt:     clk.Now(),
+		}
+		p.mu.Unlock()
+
+		ctrl.Send("controller", control.EncodeHeartbeat(hb), control.HeartbeatWireSize)
+		pkt, err := ctrl.RecvTimeout(p.cfg.HeartbeatTimeout)
+		if err == nil {
+			if raw, ok := pkt.Payload.([]byte); ok {
+				if reply, derr := control.DecodeHeartbeatReply(raw); derr == nil {
+					p.applyReply(reply)
+				}
+			}
+		} else if err == netsim.ErrClosed {
+			return
+		}
+
+		p.mu.Lock()
+		period = p.hbPeriod
+		p.mu.Unlock()
+		if !p.hbInterrupt.Sleep(clk, period) {
+			return
+		}
+	}
+}
+
+func (p *PNA) applyReply(r *control.HeartbeatReply) {
+	if r.Period > 0 {
+		p.mu.Lock()
+		p.hbPeriod = r.Period
+		p.mu.Unlock()
+	}
+	if r.Command == control.CmdReset {
+		p.mu.Lock()
+		target := p.instID
+		p.mu.Unlock()
+		p.resetInstance(target)
+	}
+}

@@ -1,0 +1,229 @@
+package provider
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"oddci/internal/core/controller"
+	"oddci/internal/core/instance"
+)
+
+// Multi is a Provider spanning several broadcast networks, each with its
+// own Controller — §4.3's observation that "multiple channels to
+// distribute the trigger application increases the potential number of
+// receivers" and §3.1's Provider/Controller separation taken to its
+// intended conclusion: one user request, fanned out across networks in
+// proportion to each network's idle population.
+type Multi struct {
+	mu       sync.Mutex
+	networks []*controller.Controller
+}
+
+// NewMulti wraps the given started Controllers.
+func NewMulti(networks ...*controller.Controller) (*Multi, error) {
+	if len(networks) == 0 {
+		return nil, errors.New("provider: multi needs at least one network")
+	}
+	return &Multi{networks: networks}, nil
+}
+
+// MultiInstance is one logical instance spread over several networks.
+type MultiInstance struct {
+	m *Multi
+	// parts maps network index → instance id on that network (0 when
+	// the network received no share).
+	parts []instance.ID
+
+	mu        sync.Mutex
+	destroyed bool
+}
+
+// split apportions target across networks proportionally to their
+// eligible idle populations (largest-remainder), guaranteeing the total
+// is exact. Networks with zero idle population share the remainder
+// evenly only if every network is empty.
+func split(target int, weights []int) []int {
+	n := len(weights)
+	out := make([]int, n)
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	if total == 0 {
+		// No information: spread evenly.
+		for i := range out {
+			out[i] = target / n
+		}
+		for i := 0; i < target%n; i++ {
+			out[i]++
+		}
+		return out
+	}
+	assigned := 0
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	rems := make([]rem, n)
+	for i, w := range weights {
+		exact := float64(target) * float64(w) / float64(total)
+		out[i] = int(exact)
+		assigned += out[i]
+		rems[i] = rem{i, exact - float64(out[i])}
+	}
+	// Largest remainders take the leftover units.
+	for assigned < target {
+		best := -1
+		for i, r := range rems {
+			if best == -1 || r.frac > rems[best].frac {
+				best = i
+			}
+		}
+		out[rems[best].idx]++
+		rems[best].frac = -1
+		assigned++
+	}
+	return out
+}
+
+// Create provisions one logical instance across the networks.
+func (m *Multi) Create(spec controller.InstanceSpec) (*MultiInstance, error) {
+	if spec.Target <= 0 {
+		return nil, errors.New("provider: target must be positive")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	weights := make([]int, len(m.networks))
+	for i, c := range m.networks {
+		idle, _ := c.Population()
+		weights[i] = idle
+	}
+	shares := split(spec.Target, weights)
+
+	inst := &MultiInstance{m: m, parts: make([]instance.ID, len(m.networks))}
+	created := 0
+	for i, share := range shares {
+		if share == 0 {
+			continue
+		}
+		sub := spec
+		sub.Target = share
+		id, err := m.networks[i].CreateInstance(sub)
+		if err != nil {
+			// Roll back what was created.
+			for j := 0; j < i; j++ {
+				if inst.parts[j] != 0 {
+					m.networks[j].DestroyInstance(inst.parts[j])
+				}
+			}
+			return nil, fmt.Errorf("provider: network %d: %w", i, err)
+		}
+		inst.parts[i] = id
+		created++
+	}
+	if created == 0 {
+		return nil, errors.New("provider: no network received a share")
+	}
+	return inst, nil
+}
+
+// Status aggregates the per-network views.
+func (mi *MultiInstance) Status() (controller.InstanceStatus, error) {
+	var agg controller.InstanceStatus
+	for i, id := range mi.parts {
+		if id == 0 {
+			continue
+		}
+		st, err := mi.m.networks[i].Status(id)
+		if err != nil {
+			return agg, err
+		}
+		agg.Target += st.Target
+		agg.Busy += st.Busy
+		agg.Wakeups += st.Wakeups
+		agg.Resets += st.Resets
+		agg.Trimming += st.Trimming
+	}
+	return agg, nil
+}
+
+// Resize re-splits the new target by current idle populations plus the
+// instance's own members (so shrinking works even with no idle nodes).
+func (mi *MultiInstance) Resize(target int) error {
+	if target < 0 {
+		return errors.New("provider: negative target")
+	}
+	mi.mu.Lock()
+	if mi.destroyed {
+		mi.mu.Unlock()
+		return errors.New("provider: instance destroyed")
+	}
+	mi.mu.Unlock()
+
+	weights := make([]int, len(mi.parts))
+	for i, id := range mi.parts {
+		idle, _ := mi.m.networks[i].Population()
+		weights[i] = idle
+		if id != 0 {
+			if st, err := mi.m.networks[i].Status(id); err == nil {
+				weights[i] += st.Busy
+			}
+		}
+	}
+	shares := split(target, weights)
+	for i, share := range shares {
+		if mi.parts[i] == 0 {
+			if share > 0 {
+				// A network that had no share cannot gain one after the
+				// fact (its carousel never carried the image); fold the
+				// share into the first participating network.
+				for j, id := range mi.parts {
+					if id != 0 {
+						shares[j] += share
+						break
+					}
+				}
+			}
+			continue
+		}
+	}
+	for i, share := range shares {
+		if mi.parts[i] == 0 {
+			continue
+		}
+		if err := mi.m.networks[i].Resize(mi.parts[i], share); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Destroy dismantles every part.
+func (mi *MultiInstance) Destroy() error {
+	mi.mu.Lock()
+	if mi.destroyed {
+		mi.mu.Unlock()
+		return nil
+	}
+	mi.destroyed = true
+	mi.mu.Unlock()
+	var firstErr error
+	for i, id := range mi.parts {
+		if id == 0 {
+			continue
+		}
+		if err := mi.m.networks[i].DestroyInstance(id); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Parts exposes the per-network instance ids (0 = no share).
+func (mi *MultiInstance) Parts() []instance.ID {
+	out := make([]instance.ID, len(mi.parts))
+	copy(out, mi.parts)
+	return out
+}

@@ -1,0 +1,211 @@
+package provider
+
+import (
+	"crypto/ed25519"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"oddci/internal/control"
+	"oddci/internal/core/controller"
+	"oddci/internal/core/instance"
+	"oddci/internal/dsmcc"
+	"oddci/internal/middleware"
+	"oddci/internal/simtime"
+)
+
+// newNetwork builds one started Controller over its own broadcast stack.
+func newNetwork(t *testing.T, clk *simtime.Sim, seed int64) *controller.Controller {
+	t.Helper()
+	car, err := dsmcc.NewCarousel(0x300, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bcast, err := dsmcc.NewBroadcaster(clk, car, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	_, priv, err := ed25519.GenerateKey(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := controller.New(controller.Config{
+		Clock: clk, Broadcaster: bcast,
+		Signalling: middleware.NewSignalling(clk, 0),
+		Key:        priv, Rng: rng,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return ctrl
+}
+
+// feedIdle reports idle heartbeats for nodes [from, to) on a network.
+func feedIdle(clk *simtime.Sim, c *controller.Controller, from, to uint64) {
+	for i := from; i < to; i++ {
+		c.HandleHeartbeat(&control.Heartbeat{
+			NodeID: i, State: control.StateIdle,
+			Profile: instance.DeviceProfile{Class: instance.ClassSTB, MemMB: 256, CPUScore: 100},
+			SentAt:  clk.Now(),
+		})
+	}
+}
+
+func TestSplitExactAndProportional(t *testing.T) {
+	got := split(10, []int{30, 10})
+	if got[0]+got[1] != 10 {
+		t.Fatalf("split not exact: %v", got)
+	}
+	if got[0] != 8 && got[0] != 7 {
+		t.Fatalf("split not proportional: %v", got)
+	}
+	even := split(10, []int{0, 0, 0})
+	if even[0]+even[1]+even[2] != 10 {
+		t.Fatalf("even split not exact: %v", even)
+	}
+}
+
+// Property: split always sums to the target and never goes negative.
+func TestSplitProperty(t *testing.T) {
+	f := func(target uint8, raw []uint8) bool {
+		if len(raw) == 0 {
+			raw = []uint8{1}
+		}
+		if len(raw) > 8 {
+			raw = raw[:8]
+		}
+		weights := make([]int, len(raw))
+		for i, w := range raw {
+			weights[i] = int(w)
+		}
+		out := split(int(target), weights)
+		sum := 0
+		for _, v := range out {
+			if v < 0 {
+				return false
+			}
+			sum += v
+		}
+		return sum == int(target)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiCreateSplitsByPopulation(t *testing.T) {
+	clk := simtime.NewSim(time.Date(2009, 11, 1, 0, 0, 0, 0, time.UTC))
+	netA := newNetwork(t, clk, 1)
+	netB := newNetwork(t, clk, 2)
+	feedIdle(clk, netA, 1, 31)    // 30 idle
+	feedIdle(clk, netB, 100, 110) // 10 idle
+
+	m, err := NewMulti(netA, netB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := m.Create(controller.InstanceSpec{
+		Image: spec().Image, Target: 20, InitialProbability: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := inst.Parts()
+	stA, err := netA.Status(parts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	stB, err := netB.Status(parts[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stA.Target+stB.Target != 20 {
+		t.Fatalf("targets %d+%d != 20", stA.Target, stB.Target)
+	}
+	if stA.Target != 15 || stB.Target != 5 {
+		t.Fatalf("split %d/%d, want 15/5 (proportional to 30/10)", stA.Target, stB.Target)
+	}
+	agg, err := inst.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Target != 20 || agg.Wakeups != 2 {
+		t.Fatalf("aggregate %+v", agg)
+	}
+	netA.Stop()
+	netB.Stop()
+	clk.Wait()
+}
+
+func TestMultiDestroyAllParts(t *testing.T) {
+	clk := simtime.NewSim(time.Date(2009, 11, 1, 0, 0, 0, 0, time.UTC))
+	netA := newNetwork(t, clk, 3)
+	netB := newNetwork(t, clk, 4)
+	feedIdle(clk, netA, 1, 11)
+	feedIdle(clk, netB, 100, 110)
+	m, _ := NewMulti(netA, netB)
+	inst, err := m.Create(controller.InstanceSpec{Image: spec().Image, Target: 10, InitialProbability: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Destroy(); err != nil {
+		t.Fatalf("idempotent destroy: %v", err)
+	}
+	for i, id := range inst.Parts() {
+		nets := []*controller.Controller{netA, netB}
+		if id == 0 {
+			continue
+		}
+		if err := nets[i].DestroyInstance(id); err == nil {
+			t.Fatalf("part %d still alive after multi destroy", i)
+		}
+	}
+	netA.Stop()
+	netB.Stop()
+	clk.Wait()
+}
+
+func TestMultiResize(t *testing.T) {
+	clk := simtime.NewSim(time.Date(2009, 11, 1, 0, 0, 0, 0, time.UTC))
+	netA := newNetwork(t, clk, 5)
+	netB := newNetwork(t, clk, 6)
+	feedIdle(clk, netA, 1, 21)
+	feedIdle(clk, netB, 100, 120)
+	m, _ := NewMulti(netA, netB)
+	inst, err := m.Create(controller.InstanceSpec{Image: spec().Image, Target: 10, InitialProbability: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Resize(30); err != nil {
+		t.Fatal(err)
+	}
+	agg, _ := inst.Status()
+	if agg.Target != 30 {
+		t.Fatalf("aggregate target = %d after resize", agg.Target)
+	}
+	netA.Stop()
+	netB.Stop()
+	clk.Wait()
+}
+
+func TestMultiValidation(t *testing.T) {
+	if _, err := NewMulti(); err == nil {
+		t.Fatal("empty multi accepted")
+	}
+	clk := simtime.NewSim(time.Date(2009, 11, 1, 0, 0, 0, 0, time.UTC))
+	net := newNetwork(t, clk, 7)
+	m, _ := NewMulti(net)
+	if _, err := m.Create(controller.InstanceSpec{Image: spec().Image}); err == nil {
+		t.Fatal("zero target accepted")
+	}
+	net.Stop()
+	clk.Wait()
+}

@@ -1,0 +1,105 @@
+// Package provider implements the OddCI Provider: the component
+// "responsible for creating, managing and destroying the instances of
+// OddCI according to the user's requests" (§3.1). It is the public face
+// of the control plane: users ask for an instance of a given size
+// running a given image; the Provider instructs the Controller and
+// exposes consolidated status.
+package provider
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"oddci/internal/core/controller"
+	"oddci/internal/core/instance"
+)
+
+// Provider fronts one Controller. (The paper allows a Provider to
+// manage several Controllers/broadcast networks; this implementation
+// pairs one of each — the multi-network generalization would add a
+// routing table here.)
+type Provider struct {
+	ctrl *controller.Controller
+
+	mu        sync.Mutex
+	instances map[instance.ID]*Instance
+}
+
+// New wraps a started Controller.
+func New(ctrl *controller.Controller) *Provider {
+	return &Provider{ctrl: ctrl, instances: make(map[instance.ID]*Instance)}
+}
+
+// Instance is a user's handle on one provisioned OddCI instance.
+type Instance struct {
+	id instance.ID
+	p  *Provider
+
+	mu        sync.Mutex
+	destroyed bool
+}
+
+// Create provisions a new instance.
+func (p *Provider) Create(spec controller.InstanceSpec) (*Instance, error) {
+	id, err := p.ctrl.CreateInstance(spec)
+	if err != nil {
+		return nil, err
+	}
+	inst := &Instance{id: id, p: p}
+	p.mu.Lock()
+	p.instances[id] = inst
+	p.mu.Unlock()
+	return inst, nil
+}
+
+// Instances lists live handles.
+func (p *Provider) Instances() []*Instance {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*Instance, 0, len(p.instances))
+	for _, inst := range p.instances {
+		out = append(out, inst)
+	}
+	return out
+}
+
+// Population reports the Controller's view of the device population.
+func (p *Provider) Population() (idle, busy int) { return p.ctrl.Population() }
+
+// ID returns the instance identifier.
+func (i *Instance) ID() instance.ID { return i.id }
+
+// Status returns consolidated instance state.
+func (i *Instance) Status() (controller.InstanceStatus, error) {
+	return i.p.ctrl.Status(i.id)
+}
+
+// Resize adjusts the target size.
+func (i *Instance) Resize(target int) error {
+	i.mu.Lock()
+	if i.destroyed {
+		i.mu.Unlock()
+		return errors.New("provider: instance destroyed")
+	}
+	i.mu.Unlock()
+	return i.p.ctrl.Resize(i.id, target)
+}
+
+// Destroy dismantles the instance.
+func (i *Instance) Destroy() error {
+	i.mu.Lock()
+	if i.destroyed {
+		i.mu.Unlock()
+		return nil
+	}
+	i.destroyed = true
+	i.mu.Unlock()
+	if err := i.p.ctrl.DestroyInstance(i.id); err != nil {
+		return fmt.Errorf("provider: destroy %d: %w", i.id, err)
+	}
+	i.p.mu.Lock()
+	delete(i.p.instances, i.id)
+	i.p.mu.Unlock()
+	return nil
+}

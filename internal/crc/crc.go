@@ -1,0 +1,44 @@
+// Package crc implements CRC-32/MPEG-2 as required by MPEG-2 PSI and
+// DSM-CC sections (ISO/IEC 13818-1 Annex A): polynomial 0x04C11DB7,
+// initial value 0xFFFFFFFF, no input/output reflection, no final XOR.
+//
+// The stdlib hash/crc32 only provides reflected variants, so the MPEG
+// flavour is implemented here with a precomputed table.
+package crc
+
+var table [256]uint32
+
+func init() {
+	const poly = 0x04C11DB7
+	for i := 0; i < 256; i++ {
+		c := uint32(i) << 24
+		for bit := 0; bit < 8; bit++ {
+			if c&0x80000000 != 0 {
+				c = c<<1 ^ poly
+			} else {
+				c <<= 1
+			}
+		}
+		table[i] = c
+	}
+}
+
+// Update folds p into the running CRC value.
+func Update(crc uint32, p []byte) uint32 {
+	for _, b := range p {
+		crc = crc<<8 ^ table[byte(crc>>24)^b]
+	}
+	return crc
+}
+
+// Checksum computes the CRC-32/MPEG-2 of p.
+func Checksum(p []byte) uint32 {
+	return Update(0xFFFFFFFF, p)
+}
+
+// SelfCheck reports whether a section whose last four bytes hold its
+// CRC-32/MPEG-2 verifies: the CRC of the whole buffer, checksum included,
+// is zero for a valid section.
+func SelfCheck(section []byte) bool {
+	return len(section) >= 4 && Checksum(section) == 0
+}

@@ -1,0 +1,76 @@
+package crc
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+)
+
+func TestKnownVector(t *testing.T) {
+	// The catalogue check value for CRC-32/MPEG-2 ("123456789").
+	got := Checksum([]byte("123456789"))
+	const want = 0x0376E6E7
+	if got != want {
+		t.Fatalf("Checksum(123456789) = %#08x, want %#08x", got, want)
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	if got := Checksum(nil); got != 0xFFFFFFFF {
+		t.Fatalf("Checksum(nil) = %#08x, want 0xFFFFFFFF", got)
+	}
+}
+
+func TestUpdateIncremental(t *testing.T) {
+	data := []byte("the quick brown fox jumps over the lazy dog")
+	whole := Checksum(data)
+	part := Update(Update(0xFFFFFFFF, data[:10]), data[10:])
+	if whole != part {
+		t.Fatalf("incremental %#08x != whole %#08x", part, whole)
+	}
+}
+
+// Property: appending the big-endian CRC to any payload yields a buffer
+// whose self-check passes — exactly how MPEG sections are validated.
+func TestSelfCheckProperty(t *testing.T) {
+	f := func(payload []byte) bool {
+		c := Checksum(payload)
+		buf := make([]byte, len(payload)+4)
+		copy(buf, payload)
+		binary.BigEndian.PutUint32(buf[len(payload):], c)
+		return SelfCheck(buf)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: flipping any byte breaks the self-check.
+func TestCorruptionDetectedProperty(t *testing.T) {
+	f := func(payload []byte, pos uint8, flip uint8) bool {
+		if flip == 0 {
+			flip = 1
+		}
+		c := Checksum(payload)
+		buf := make([]byte, len(payload)+4)
+		copy(buf, payload)
+		binary.BigEndian.PutUint32(buf[len(payload):], c)
+		i := int(pos) % len(buf)
+		buf[i] ^= flip
+		return !SelfCheck(buf)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkChecksum4K(b *testing.B) {
+	buf := make([]byte, 4096)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		Checksum(buf)
+	}
+}

@@ -1,0 +1,234 @@
+package dsmcc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"oddci/internal/simtime"
+)
+
+// Broadcaster transmits a Carousel cyclically at a fixed rate over
+// virtual time. It is the timing model of the broadcast channel: rather
+// than emitting an event per TS packet (unworkable at scale), it exposes
+// the deterministic position of the cyclic stream and schedules one
+// event per requested file delivery, which is byte-exact with respect to
+// the Layout (a test cross-checks this against streaming the real
+// encoded bytes).
+type Broadcaster struct {
+	clk  simtime.Clock
+	rate float64 // bits per second (the β of the paper)
+
+	mu           sync.Mutex
+	car          *Carousel
+	layout       *Layout
+	origin       time.Time // when byte position 0 of the current layout aired
+	started      bool
+	pending      []File
+	pendingSet   bool
+	commitTimer  simtime.Timer
+	genListeners map[int]func(gen uint32, at time.Time)
+	nextListener int
+}
+
+// NewBroadcaster wraps car for transmission at rateBps.
+func NewBroadcaster(clk simtime.Clock, car *Carousel, rateBps float64) (*Broadcaster, error) {
+	if rateBps <= 0 {
+		return nil, errors.New("dsmcc: broadcast rate must be positive")
+	}
+	return &Broadcaster{
+		clk:          clk,
+		rate:         rateBps,
+		car:          car,
+		genListeners: make(map[int]func(uint32, time.Time)),
+	}, nil
+}
+
+// airTime converts wire bytes to transmission duration at the broadcast
+// rate.
+func (b *Broadcaster) airTime(bytes int64) time.Duration {
+	return time.Duration(float64(bytes) * 8 / b.rate * float64(time.Second))
+}
+
+// Start loads the initial contents and begins cycling immediately.
+func (b *Broadcaster) Start(files []File) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.started {
+		return errors.New("dsmcc: broadcaster already started")
+	}
+	if err := b.car.SetFiles(files); err != nil {
+		return err
+	}
+	l, err := b.car.Layout()
+	if err != nil {
+		return err
+	}
+	b.layout = l
+	b.origin = b.clk.Now()
+	b.started = true
+	return nil
+}
+
+// Generation returns the generation currently on air.
+func (b *Broadcaster) Generation() uint32 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.layout == nil {
+		return 0
+	}
+	return b.layout.Generation
+}
+
+// CycleDuration returns the air time of one full cycle of the current
+// layout.
+func (b *Broadcaster) CycleDuration() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.layout == nil {
+		return 0
+	}
+	return b.airTime(b.layout.CycleWire)
+}
+
+// positionLocked returns the wire-byte position of the stream at t.
+func (b *Broadcaster) positionLocked(t time.Time) int64 {
+	elapsed := t.Sub(b.origin)
+	if elapsed < 0 {
+		return 0
+	}
+	return int64(elapsed.Seconds() * b.rate / 8)
+}
+
+// Update replaces the carousel contents at the next cycle boundary, as a
+// real playout server would (receivers mid-read of the old generation
+// finish their cycle). Successive updates before the boundary coalesce;
+// the last one wins.
+func (b *Broadcaster) Update(files []File) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.started {
+		return errors.New("dsmcc: broadcaster not started")
+	}
+	b.pending = files
+	if b.pendingSet {
+		return nil // commit already scheduled
+	}
+	b.pendingSet = true
+	now := b.clk.Now()
+	pos := b.positionLocked(now)
+	w := b.layout.CycleWire
+	boundary := (pos/w + 1) * w
+	delay := b.origin.Add(b.airTime(boundary)).Sub(now)
+	b.commitTimer = b.clk.AfterFunc(delay, b.commit)
+	return nil
+}
+
+// commit applies the pending update at a cycle boundary.
+func (b *Broadcaster) commit() {
+	b.mu.Lock()
+	files := b.pending
+	b.pending = nil
+	b.pendingSet = false
+	if err := b.car.SetFiles(files); err != nil {
+		b.mu.Unlock()
+		panic(fmt.Sprintf("dsmcc: committing validated update failed: %v", err))
+	}
+	l, err := b.car.Layout()
+	if err != nil {
+		b.mu.Unlock()
+		panic(fmt.Sprintf("dsmcc: layout of committed update failed: %v", err))
+	}
+	b.layout = l
+	b.origin = b.clk.Now()
+	gen := l.Generation
+	at := b.origin
+	listeners := make([]func(uint32, time.Time), 0, len(b.genListeners))
+	for _, fn := range b.genListeners {
+		listeners = append(listeners, fn)
+	}
+	b.mu.Unlock()
+	for _, fn := range listeners {
+		fn(gen, at)
+	}
+}
+
+// OnGeneration registers fn to run whenever a new generation goes on
+// air. It returns a cancel function. fn runs on the clock's event loop.
+func (b *Broadcaster) OnGeneration(fn func(gen uint32, at time.Time)) (cancel func()) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	id := b.nextListener
+	b.nextListener++
+	b.genListeners[id] = fn
+	return func() {
+		b.mu.Lock()
+		delete(b.genListeners, id)
+		b.mu.Unlock()
+	}
+}
+
+// ErrNoSuchFile reports a RequestFile against a name absent from the
+// carousel directory.
+var ErrNoSuchFile = errors.New("dsmcc: no such file in carousel")
+
+// RequestFile asks for the named file as a receiver that starts
+// listening now would obtain it. fn is invoked exactly once with the
+// file data and delivery time, or with err != nil if the file
+// disappears from the carousel before delivery. If the carousel content
+// changes mid-read (version bump), the read restarts against the new
+// generation, exactly as a receiver re-acquiring a new module version
+// would.
+func (b *Broadcaster) RequestFile(name string, strategy ReceiverStrategy, fn func(data []byte, at time.Time, err error)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.started {
+		now := b.clk.Now()
+		b.clk.AfterFunc(0, func() { fn(nil, now, errors.New("dsmcc: broadcaster not started")) })
+		return
+	}
+	b.scheduleDeliveryLocked(name, strategy, fn)
+}
+
+func (b *Broadcaster) scheduleDeliveryLocked(name string, strategy ReceiverStrategy, fn func([]byte, time.Time, error)) {
+	now := b.clk.Now()
+	e, ok := b.layout.Entry(name)
+	if !ok {
+		b.clk.AfterFunc(0, func() { fn(nil, now, ErrNoSuchFile) })
+		return
+	}
+	version := e.Version
+	pos := b.positionLocked(now)
+	done, _ := b.layout.NextCompletion(name, pos, strategy)
+	at := b.origin.Add(b.airTime(done))
+	delay := at.Sub(now)
+	if delay < 0 {
+		delay = 0
+	}
+	b.clk.AfterFunc(delay, func() {
+		b.mu.Lock()
+		cur, ok := b.layout.Entry(name)
+		switch {
+		case !ok:
+			b.mu.Unlock()
+			fn(nil, b.clk.Now(), ErrNoSuchFile)
+			return
+		case cur.Version != version:
+			// Content changed under the read: restart on the new
+			// generation.
+			b.scheduleDeliveryLocked(name, strategy, fn)
+			b.mu.Unlock()
+			return
+		}
+		var data []byte
+		for _, f := range b.car.Files() {
+			if f.Name == name {
+				data = append([]byte(nil), f.Data...)
+				break
+			}
+		}
+		b.mu.Unlock()
+		fn(data, b.clk.Now(), nil)
+	})
+}

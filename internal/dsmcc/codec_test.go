@@ -1,0 +1,140 @@
+package dsmcc
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestDIIRoundTrip(t *testing.T) {
+	d := &DII{
+		TransactionID: 42,
+		DownloadID:    7,
+		BlockSize:     4000,
+		Modules: []ModuleInfo{
+			{ID: 0, Version: 1, Size: 1 << 20, Name: "pna.xlet"},
+			{ID: 1, Version: 0, Size: 8 << 20, Name: "image"},
+			{ID: 2, Version: 3, Size: 120, Name: "config"},
+		},
+	}
+	raw, err := d.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeDII(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, d) {
+		t.Fatalf("got %+v want %+v", got, d)
+	}
+}
+
+func TestDDBRoundTrip(t *testing.T) {
+	d := &DDB{DownloadID: 7, ModuleID: 300, Version: 5, BlockNumber: 1234,
+		Data: bytes.Repeat([]byte{0xAB}, 4000)}
+	raw, err := d.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeDDB(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DownloadID != 7 || got.ModuleID != 300 || got.Version != 5 || got.BlockNumber != 1234 {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if !bytes.Equal(got.Data, d.Data) {
+		t.Fatal("data mismatch")
+	}
+}
+
+func TestDDBOversizedRejected(t *testing.T) {
+	d := &DDB{Data: make([]byte, maxBlockSize+1)}
+	if _, err := d.Encode(); err == nil {
+		t.Fatal("oversized block accepted")
+	}
+}
+
+func TestCrossDecodeRejected(t *testing.T) {
+	dii, _ := (&DII{BlockSize: 100}).Encode()
+	if _, err := DecodeDDB(dii); err == nil {
+		t.Fatal("DII decoded as DDB")
+	}
+	ddb, _ := (&DDB{Data: []byte{1}}).Encode()
+	if _, err := DecodeDII(ddb); err == nil {
+		t.Fatal("DDB decoded as DII")
+	}
+}
+
+// Property: DII round-trips for arbitrary module tables.
+func TestDIIRoundTripProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n) % 20
+		d := &DII{
+			TransactionID: rng.Uint32(),
+			DownloadID:    rng.Uint32(),
+			BlockSize:     uint16(rng.Intn(4000) + 1),
+		}
+		for i := 0; i < count; i++ {
+			name := make([]byte, rng.Intn(30)+1)
+			for j := range name {
+				name[j] = byte('a' + rng.Intn(26))
+			}
+			d.Modules = append(d.Modules, ModuleInfo{
+				ID:      uint16(rng.Intn(65536)),
+				Version: uint8(rng.Intn(256)),
+				Size:    rng.Uint32(),
+				Name:    string(name),
+			})
+		}
+		raw, err := d.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := DecodeDII(raw)
+		if err != nil {
+			return false
+		}
+		if len(got.Modules) == 0 {
+			got.Modules = nil
+		}
+		return reflect.DeepEqual(got, d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: DDB round-trips for arbitrary block payloads.
+func TestDDBRoundTripProperty(t *testing.T) {
+	f := func(seed int64, size uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		data := make([]byte, int(size)%maxBlockSize)
+		rng.Read(data)
+		d := &DDB{
+			DownloadID:  rng.Uint32(),
+			ModuleID:    uint16(rng.Intn(65536)),
+			Version:     uint8(rng.Intn(256)),
+			BlockNumber: uint16(rng.Intn(65536)),
+			Data:        data,
+		}
+		raw, err := d.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := DecodeDDB(raw)
+		if err != nil {
+			return false
+		}
+		return got.DownloadID == d.DownloadID && got.ModuleID == d.ModuleID &&
+			got.Version == d.Version && got.BlockNumber == d.BlockNumber &&
+			bytes.Equal(got.Data, d.Data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,223 @@
+package dsmcc
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Receiver assembles carousel files from a stream of decoded DSM-CC
+// sections — the byte-exact counterpart of the Broadcaster's timing
+// model. Feed it sections from an mpegts.Demux handler. Blocks may
+// arrive in any order and spanning cycle boundaries (the BlockCache
+// behaviour); completed files are surfaced through OnFile.
+type Receiver struct {
+	mu sync.Mutex
+
+	dii      *DII
+	partials map[moduleKey]*partialModule
+	complete map[string][]byte
+	done     map[moduleKey]bool
+
+	// OnFile, if set, runs when a file is fully assembled (including
+	// again after a version change). It is called without the receiver
+	// lock held.
+	OnFile func(name string, data []byte)
+	// OnDirectory, if set, runs whenever a DII with a new transaction id
+	// is seen.
+	OnDirectory func(d *DII)
+
+	// SectionErrors counts undecodable sections.
+	SectionErrors int
+}
+
+type moduleKey struct {
+	id      uint16
+	version uint8
+}
+
+type partialModule struct {
+	info   ModuleInfo
+	blocks map[uint16][]byte
+	need   int
+}
+
+// NewReceiver returns an empty receiver.
+func NewReceiver() *Receiver {
+	return &Receiver{
+		partials: make(map[moduleKey]*partialModule),
+		complete: make(map[string][]byte),
+		done:     make(map[moduleKey]bool),
+	}
+}
+
+// File returns the assembled contents of name, if complete.
+func (r *Receiver) File(name string) ([]byte, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d, ok := r.complete[name]
+	return d, ok
+}
+
+// Directory returns the most recent DII, if any.
+func (r *Receiver) Directory() *DII {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dii
+}
+
+// HandleSection consumes one raw section (table 0x3B or 0x3C).
+func (r *Receiver) HandleSection(sec []byte) {
+	if len(sec) == 0 {
+		return
+	}
+	switch sec[0] {
+	case 0x3B:
+		d, err := DecodeDII(sec)
+		if err != nil {
+			r.mu.Lock()
+			r.SectionErrors++
+			r.mu.Unlock()
+			return
+		}
+		r.handleDII(d)
+	case 0x3C:
+		b, err := DecodeDDB(sec)
+		if err != nil {
+			r.mu.Lock()
+			r.SectionErrors++
+			r.mu.Unlock()
+			return
+		}
+		r.handleDDB(b)
+	default:
+		r.mu.Lock()
+		r.SectionErrors++
+		r.mu.Unlock()
+	}
+}
+
+func (r *Receiver) handleDII(d *DII) {
+	r.mu.Lock()
+	fresh := r.dii == nil || r.dii.TransactionID != d.TransactionID
+	r.dii = d
+	var completed []struct {
+		name string
+		data []byte
+	}
+	if fresh {
+		// Register expected modules; drop partials for superseded
+		// versions, and promote any partials that were buffered before
+		// this DII arrived and are already complete.
+		valid := make(map[moduleKey]ModuleInfo, len(d.Modules))
+		for _, m := range d.Modules {
+			valid[moduleKey{m.ID, m.Version}] = m
+		}
+		for k, p := range r.partials {
+			m, ok := valid[k]
+			if !ok {
+				delete(r.partials, k)
+				continue
+			}
+			p.info = m
+			p.need = blocksFor(int(m.Size), int(d.BlockSize))
+			if data, ok := p.assemble(); ok {
+				r.complete[m.Name] = data
+				r.done[k] = true
+				delete(r.partials, k)
+				completed = append(completed, struct {
+					name string
+					data []byte
+				}{m.Name, data})
+			}
+		}
+	}
+	cb := r.OnDirectory
+	onFile := r.OnFile
+	r.mu.Unlock()
+	if fresh && cb != nil {
+		cb(d)
+	}
+	if onFile != nil {
+		for _, c := range completed {
+			onFile(c.name, c.data)
+		}
+	}
+}
+
+func blocksFor(size, blockSize int) int {
+	if size == 0 {
+		return 1
+	}
+	return (size + blockSize - 1) / blockSize
+}
+
+func (r *Receiver) handleDDB(b *DDB) {
+	r.mu.Lock()
+	k := moduleKey{b.ModuleID, b.Version}
+	if r.done[k] {
+		// This module version is already assembled; cyclic
+		// retransmissions of its blocks are expected and ignored.
+		r.mu.Unlock()
+		return
+	}
+	p := r.partials[k]
+	if p == nil {
+		p = &partialModule{blocks: make(map[uint16][]byte)}
+		if r.dii != nil {
+			for _, m := range r.dii.Modules {
+				if m.ID == b.ModuleID && m.Version == b.Version {
+					p.info = m
+					p.need = blocksFor(int(m.Size), int(r.dii.BlockSize))
+					break
+				}
+			}
+		}
+		r.partials[k] = p
+	}
+	if _, dup := p.blocks[b.BlockNumber]; !dup {
+		p.blocks[b.BlockNumber] = append([]byte(nil), b.Data...)
+	}
+	var name string
+	var data []byte
+	if p.need > 0 && len(p.blocks) >= p.need && r.dii != nil {
+		if d, ok := p.assemble(); ok {
+			name, data = p.info.Name, d
+			r.complete[name] = data
+			r.done[k] = true
+			delete(r.partials, k)
+		}
+	}
+	onFile := r.OnFile
+	r.mu.Unlock()
+	if data != nil && onFile != nil {
+		onFile(name, data)
+	}
+}
+
+// assemble stitches blocks into the module payload; done is false if
+// metadata is missing or blocks are absent/ill-sized.
+func (p *partialModule) assemble() ([]byte, bool) {
+	if p.need == 0 || len(p.blocks) < p.need {
+		return nil, false
+	}
+	data := make([]byte, 0, p.info.Size)
+	for i := 0; i < p.need; i++ {
+		blk, ok := p.blocks[uint16(i)]
+		if !ok {
+			return nil, false
+		}
+		data = append(data, blk...)
+	}
+	if len(data) != int(p.info.Size) {
+		return nil, false
+	}
+	return data, true
+}
+
+// String summarizes receiver state for diagnostics.
+func (r *Receiver) String() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return fmt.Sprintf("dsmcc.Receiver{complete:%d partial:%d errors:%d}",
+		len(r.complete), len(r.partials), r.SectionErrors)
+}

@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"oddci/blast"
+	"oddci/internal/metrics"
+	"oddci/internal/netsim"
+	"oddci/internal/simtime"
+	"oddci/internal/stb"
+)
+
+func init() {
+	register("table2", "Table II: BLAST runtimes on STB (in use / standby) vs reference PC", runTable2)
+	register("table3", "Table III: remote BLAST (BLASTCL3-style) over the direct channel", runTable3)
+}
+
+// blastTest defines one workload of the paper's benchmark suite.
+type blastTest struct {
+	id       int
+	queryLen int
+	numSeqs  int
+	seqLen   int
+	execute  bool // run the kernel for real (small DBs) vs cost model
+}
+
+// table2Tests spans the paper's three categories: local processing with
+// small databases (#1–9) and with large databases (#10–12).
+func table2Tests(quick bool) []blastTest {
+	tests := []blastTest{
+		{1, 64, 20, 2000, true},
+		{2, 64, 40, 2000, true},
+		{3, 128, 40, 2000, true},
+		{4, 64, 10, 1000, true},
+		{5, 32, 10, 1000, true},
+		{6, 48, 10, 1000, true},
+		{7, 96, 30, 1500, true},
+		{8, 80, 30, 1500, true},
+		{9, 128, 20, 1500, true},
+		// Large databases: minutes-to-hours of STB time; derived from
+		// the calibrated cell rate instead of executed.
+		{10, 256, 2000, 10000, false},
+		{11, 512, 10000, 10000, false},
+		{12, 1024, 20000, 10000, false},
+	}
+	if quick {
+		return tests[:6]
+	}
+	return tests
+}
+
+// calibrateCellRate measures the host kernel's throughput in
+// query×subject cells per wall second.
+func calibrateCellRate(seed int64) (float64, error) {
+	rng := rand.New(rand.NewSource(seed))
+	query := blast.RandomSeq(rng, 128)
+	db := blast.RandomDB(rng, 200, 5000, 5000) // 1 Mbase
+	p := blast.DefaultParams()
+	// Warm up once, then time.
+	if _, err := blast.Search(query, db, p); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	const reps = 3
+	for i := 0; i < reps; i++ {
+		if _, err := blast.Search(query, db, p); err != nil {
+			return 0, err
+		}
+	}
+	elapsed := time.Since(start).Seconds() / reps
+	cells := float64(len(query)) * float64(blast.DBBytes(db))
+	return cells / elapsed, nil
+}
+
+// runBlastTest returns the PC-equivalent seconds for one test: measured
+// for small DBs, cost-modelled for large ones.
+func runBlastTest(t blastTest, rng *rand.Rand, cellRate float64) (pcSeconds float64, hits int, err error) {
+	if !t.execute {
+		cells := float64(t.queryLen) * float64(t.numSeqs) * float64(t.seqLen)
+		return cells / cellRate, -1, nil
+	}
+	query := blast.RandomSeq(rng, t.queryLen)
+	db := blast.RandomDB(rng, t.numSeqs, t.seqLen, t.seqLen)
+	blast.PlantHit(rng, db, query, rng.Intn(t.numSeqs), 0, 10, t.queryLen/2, 1)
+	p := blast.DefaultParams()
+	start := time.Now()
+	hs, err := blast.Search(query, db, p)
+	if err != nil {
+		return 0, 0, err
+	}
+	return time.Since(start).Seconds(), len(hs), nil
+}
+
+func runTable2(cfg Config) (*Result, error) {
+	cellRate, err := calibrateCellRate(cfg.Seed + 1)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 2))
+	perf := stb.DefaultPerf()
+
+	tbl := metrics.NewTable(
+		"BLAST processing time (seconds)",
+		"#Test", "Query (nt)", "DB (kbases)", "PC", "STB in use", "STB standby", "Source")
+	var inUseOverPC, inUseOverStandby metrics.Sample
+	for _, t := range table2Tests(cfg.Quick) {
+		pc, hits, err := runBlastTest(t, rng, cellRate)
+		if err != nil {
+			return nil, err
+		}
+		inUse := perf.FromPCSeconds(pc, stb.InUse)
+		standby := perf.FromPCSeconds(pc, stb.Standby)
+		src := "measured"
+		if !t.execute {
+			src = "cost model"
+		}
+		_ = hits
+		tbl.AddRow(t.id, t.queryLen, t.numSeqs*t.seqLen/1000, pc, inUse, standby, src)
+		inUseOverPC.Add(inUse / pc)
+		inUseOverStandby.Add(inUse / standby)
+	}
+
+	// Pipeline check: the same conversion must come out of the full
+	// device model (STB → DVE task execution) in virtual time.
+	clk := simtime.NewSim(time.Date(2009, 11, 1, 0, 0, 0, 0, time.UTC))
+	probe := perf.TaskDuration(10, stb.InUse) // 10 reference seconds
+	var elapsed time.Duration
+	clk.Go(func() {
+		start := clk.Now()
+		clk.Sleep(probe)
+		elapsed = clk.Now().Sub(start)
+	})
+	clk.Wait()
+
+	notes := []string{
+		fmt.Sprintf("host kernel calibration: %.2e cells/s; the PC column is real kernel wall time (or the calibrated cost model for #10–12)", cellRate),
+		fmt.Sprintf("STB columns derive from the paper-calibrated device model: in-use = %.1f × PC, in-use = %.2f × standby (Table II reported 20.6× ±10%% and 1.65× ±17%%)",
+			inUseOverPC.Mean(), inUseOverStandby.Mean()),
+		fmt.Sprintf("device-model pipeline check: a 10 reference-second task occupies the virtual clock for %.1fs in use", elapsed.Seconds()),
+	}
+	return &Result{Tables: []*metrics.Table{tbl}, Notes: notes}, nil
+}
+
+// runTable3 reproduces the remote-processing category (#13–15): the STB
+// acts as a thin client, shipping the query over its 150 kbps direct
+// channel to a PC-class service that scans a large database, then
+// receiving the hits. Compared against running the same search locally
+// on the STB.
+func runTable3(cfg Config) (*Result, error) {
+	cellRate, err := calibrateCellRate(cfg.Seed + 1)
+	if err != nil {
+		return nil, err
+	}
+	perf := stb.DefaultPerf()
+	type remoteTest struct {
+		id         int
+		queryLen   int
+		dbBases    int64
+		resultHits int
+	}
+	tests := []remoteTest{
+		{13, 512, 20e6, 40},
+		{14, 1024, 50e6, 120},
+		{15, 2048, 100e6, 300},
+	}
+	if cfg.Quick {
+		tests = tests[:2]
+	}
+
+	tbl := metrics.NewTable(
+		"Remote BLAST round trip (seconds, δ=150 kbps)",
+		"#Test", "Query (nt)", "DB (Mbases)", "Upload", "Server", "Download", "Total", "Local on STB")
+	notes := []string{}
+	for _, t := range tests {
+		clk := simtime.NewSim(time.Date(2009, 11, 1, 0, 0, 0, 0, time.UTC))
+		link := netsim.LinkConfig{RateBps: 150e3, Latency: 50 * time.Millisecond}
+		client, server := netsim.NewDuplex(clk, "stb", "blast-service", link, link)
+
+		cells := float64(t.queryLen) * float64(t.dbBases)
+		serverSeconds := cells / cellRate
+		resultBytes := 4 + t.resultHits*(1+8+16) // EncodeHits framing
+
+		var upload, serverT, download, total time.Duration
+		clk.Go(func() { // service
+			pkt, err := server.Recv()
+			if err != nil {
+				return
+			}
+			upload = clk.Now().Sub(pkt.SentAt)
+			clk.Sleep(time.Duration(serverSeconds * float64(time.Second)))
+			serverT = time.Duration(serverSeconds * float64(time.Second))
+			server.Send(pkt.From, "hits", resultBytes)
+		})
+		clk.Go(func() { // STB client
+			start := clk.Now()
+			client.Send("blast-service", "query", t.queryLen)
+			pkt, err := client.Recv()
+			if err != nil {
+				return
+			}
+			download = clk.Now().Sub(pkt.SentAt)
+			total = clk.Now().Sub(start)
+		})
+		clk.Wait()
+
+		localSTB := perf.FromPCSeconds(cells/cellRate, stb.InUse)
+		tbl.AddRow(t.id, t.queryLen, float64(t.dbBases)/1e6,
+			upload.Seconds(), serverT.Seconds(), download.Seconds(), total.Seconds(), localSTB)
+		if total.Seconds() >= localSTB {
+			notes = append(notes, fmt.Sprintf("test %d: remote did NOT beat local — unexpected for large DBs", t.id))
+		}
+	}
+	notes = append(notes,
+		"remote processing trades a ~20× device slowdown for two 150 kbps transfers: for large databases the server-side scan dominates and the STB is better used as a thin client — the paper's BLASTCL3 scenario")
+	return &Result{Tables: []*metrics.Table{tbl}, Notes: notes}, nil
+}

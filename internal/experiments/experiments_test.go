@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every registered experiment must run clean in quick mode and produce
+// at least one table or figure.
+func TestAllExperimentsQuick(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			res, err := Run(id, Config{Seed: 42, Quick: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Tables)+len(res.Figs) == 0 {
+				t.Fatal("experiment produced no output")
+			}
+			var b strings.Builder
+			res.Render(&b)
+			if !strings.Contains(b.String(), res.ID) {
+				t.Fatal("render missing experiment id")
+			}
+		})
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := Run("nope", Config{}); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestIDsStable(t *testing.T) {
+	want := []string{"table1", "table2", "table3", "wakeup", "fig6", "fig7",
+		"abl-prob", "abl-churn", "abl-heartbeat", "abl-carousel", "abl-transport", "churn-eff"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs = %v", got)
+	}
+	seen := make(map[string]bool)
+	for _, id := range got {
+		seen[id] = true
+	}
+	for _, id := range want {
+		if !seen[id] {
+			t.Fatalf("missing experiment %q in %v", id, got)
+		}
+	}
+}
+
+// Shape assertions on the headline results (quick mode).
+func TestTable1Shape(t *testing.T) {
+	res, err := Run("table1", Config{Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// OddCI column must be constant; grid column must grow.
+	fig := res.Figs[0]
+	var oddci, grid *struct{ first, last float64 }
+	for _, s := range fig.Series {
+		v := &struct{ first, last float64 }{s.Y[0], s.Y[len(s.Y)-1]}
+		switch s.Label {
+		case "oddci":
+			oddci = v
+		case "desktop-grid":
+			grid = v
+		}
+	}
+	if oddci == nil || grid == nil {
+		t.Fatal("missing series")
+	}
+	if oddci.first != oddci.last {
+		t.Fatalf("oddci setup not flat: %v → %v", oddci.first, oddci.last)
+	}
+	if grid.last <= grid.first {
+		t.Fatal("grid setup did not grow with N")
+	}
+	if grid.last <= oddci.last {
+		t.Fatal("at the largest N, oddci should win")
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	res, err := Run("fig6", Config{Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Figs[0].Series {
+		for i := 1; i < len(s.Y); i++ {
+			if s.Y[i] <= s.Y[i-1] {
+				t.Fatalf("series %s not increasing at point %d", s.Label, i)
+			}
+		}
+		if last := s.Y[len(s.Y)-1]; last <= 0 || last > 1 {
+			t.Fatalf("series %s efficiency out of range: %v", s.Label, last)
+		}
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	res, err := Run("fig7", Config{Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Makespan increases with Φ within a series, and higher n/N costs
+	// more at the same Φ.
+	series := res.Figs[0].Series
+	for _, s := range series {
+		for i := 1; i < len(s.Y); i++ {
+			if s.Y[i] <= s.Y[i-1] {
+				t.Fatalf("series %s makespan not increasing", s.Label)
+			}
+		}
+	}
+	lastIdx := len(series[0].Y) - 1
+	if series[len(series)-1].Y[lastIdx] <= series[0].Y[lastIdx] {
+		t.Fatal("higher n/N should have larger makespan at same Φ")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	res, err := Run("table2", Config{Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Tables[0].String()
+	if !strings.Contains(out, "measured") {
+		t.Fatalf("no measured rows:\n%s", out)
+	}
+}

@@ -1,0 +1,78 @@
+package mpegts
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeSection: the section parser faces whatever the demodulator
+// produces; it must never panic and never accept a CRC-broken section.
+func FuzzDecodeSection(f *testing.F) {
+	s := &Section{TableID: 0x3C, TableIDExt: 7, Payload: []byte("block data")}
+	raw, err := s.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(raw)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 200))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sec, n, err := DecodeSection(data)
+		if err != nil {
+			return
+		}
+		if sec == nil || n <= 0 || n > len(data) {
+			t.Fatalf("inconsistent success: n=%d", n)
+		}
+		// A successful decode re-encodes to the same bytes.
+		re, err := sec.Encode()
+		if err != nil {
+			t.Fatalf("decoded section fails to re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data[:n]) {
+			t.Fatal("decode/encode not inverse")
+		}
+	})
+}
+
+// FuzzParsePacket must never panic on a 188-byte buffer.
+func FuzzParsePacket(f *testing.F) {
+	p := &Packet{PID: 0x100, PUSI: true, Payload: bytes.Repeat([]byte{1}, 184)}
+	raw, _ := p.Marshal()
+	f.Add(raw)
+	f.Add(make([]byte, PacketSize))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pkt, err := ParsePacket(data)
+		if err == nil && pkt == nil {
+			t.Fatal("nil packet without error")
+		}
+	})
+}
+
+// FuzzAssembler pushes arbitrary packet streams through reassembly; the
+// CRC gate must hold (no corrupt section ever emitted as valid).
+func FuzzAssembler(f *testing.F) {
+	s := &Section{TableID: 0x3B, Payload: bytes.Repeat([]byte{0xA5}, 500)}
+	raw, _ := s.Encode()
+	pkts, _, _ := PacketizeSection(0x55, 0, raw)
+	var stream []byte
+	for _, p := range pkts {
+		b, _ := p.Marshal()
+		stream = append(stream, b...)
+	}
+	f.Add(stream)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a := NewAssembler(0x55)
+		for off := 0; off+PacketSize <= len(data); off += PacketSize {
+			p, err := ParsePacket(data[off : off+PacketSize])
+			if err != nil {
+				continue
+			}
+			for _, sec := range a.Push(p) {
+				if _, _, err := DecodeSection(sec); err != nil {
+					t.Fatalf("assembler emitted an invalid section: %v", err)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,217 @@
+package mpegts
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"oddci/internal/bits"
+)
+
+// Table IDs used in this system.
+const (
+	TableIDPAT       = 0x00
+	TableIDPMT       = 0x02
+	TableIDDSMCCDII  = 0x3B // DSM-CC U-N messages (DownloadInfoIndication)
+	TableIDDSMCCDDB  = 0x3C // DSM-CC download data (DownloadDataBlock)
+	TableIDAIT       = 0x74
+	TableIDForbidden = 0xFF
+)
+
+// PAT is the Program Association Table: program_number → PMT PID.
+type PAT struct {
+	TransportStreamID uint16
+	Version           uint8
+	Programs          map[uint16]uint16
+}
+
+// EncodePAT produces the PAT's single section.
+func EncodePAT(p *PAT) ([]byte, error) {
+	w := bits.NewWriter()
+	nums := make([]int, 0, len(p.Programs))
+	for n := range p.Programs {
+		nums = append(nums, int(n))
+	}
+	sort.Ints(nums)
+	for _, n := range nums {
+		pid := p.Programs[uint16(n)]
+		if pid > 0x1FFF {
+			return nil, fmt.Errorf("mpegts: PMT PID %#x out of range", pid)
+		}
+		w.Write(uint64(n), 16)
+		w.Write(7, 3) // reserved
+		w.Write(uint64(pid), 13)
+	}
+	if err := w.Err(); err != nil {
+		return nil, err
+	}
+	s := &Section{
+		TableID:     TableIDPAT,
+		TableIDExt:  p.TransportStreamID,
+		Version:     p.Version,
+		CurrentNext: true,
+		Payload:     w.Bytes(),
+	}
+	return s.Encode()
+}
+
+// DecodePAT parses a PAT section.
+func DecodePAT(raw []byte) (*PAT, error) {
+	s, _, err := DecodeSection(raw)
+	if err != nil {
+		return nil, err
+	}
+	if s.TableID != TableIDPAT {
+		return nil, fmt.Errorf("mpegts: table id %#x is not a PAT", s.TableID)
+	}
+	if len(s.Payload)%4 != 0 {
+		return nil, errors.New("mpegts: PAT payload not a multiple of 4")
+	}
+	p := &PAT{TransportStreamID: s.TableIDExt, Version: s.Version, Programs: make(map[uint16]uint16)}
+	r := bits.NewReader(s.Payload)
+	for r.Remaining() >= 32 {
+		num, _ := r.Read(16)
+		r.Skip(3)
+		pid, _ := r.Read(13)
+		p.Programs[uint16(num)] = uint16(pid)
+	}
+	return p, nil
+}
+
+// Descriptor is a tagged PSI descriptor.
+type Descriptor struct {
+	Tag  uint8
+	Data []byte
+}
+
+func encodeDescriptors(w *bits.Writer, ds []Descriptor) error {
+	for _, d := range ds {
+		if len(d.Data) > 255 {
+			return fmt.Errorf("mpegts: descriptor %#x data too long", d.Tag)
+		}
+		w.Write(uint64(d.Tag), 8)
+		w.Write(uint64(len(d.Data)), 8)
+		w.WriteBytes(d.Data)
+	}
+	return nil
+}
+
+func decodeDescriptors(b []byte) ([]Descriptor, error) {
+	var ds []Descriptor
+	for len(b) > 0 {
+		if len(b) < 2 {
+			return nil, errors.New("mpegts: truncated descriptor")
+		}
+		tag, n := b[0], int(b[1])
+		if len(b) < 2+n {
+			return nil, errors.New("mpegts: truncated descriptor body")
+		}
+		ds = append(ds, Descriptor{Tag: tag, Data: append([]byte(nil), b[2:2+n]...)})
+		b = b[2+n:]
+	}
+	return ds, nil
+}
+
+// Stream types relevant to a data service.
+const (
+	StreamTypeDSMCCSections = 0x0B // DSM-CC U-N messages
+	StreamTypePrivateData   = 0x06
+)
+
+// ESInfo describes one elementary stream in a PMT.
+type ESInfo struct {
+	StreamType  uint8
+	PID         uint16
+	Descriptors []Descriptor
+}
+
+// PMT is the Program Map Table for one service.
+type PMT struct {
+	ProgramNumber uint16
+	Version       uint8
+	PCRPID        uint16
+	Streams       []ESInfo
+}
+
+// EncodePMT produces the PMT's single section.
+func EncodePMT(p *PMT) ([]byte, error) {
+	w := bits.NewWriter()
+	w.Write(7, 3) // reserved
+	w.Write(uint64(p.PCRPID), 13)
+	w.Write(15, 4) // reserved
+	w.Write(0, 12) // program_info_length (no program descriptors)
+	for _, es := range p.Streams {
+		dw := bits.NewWriter()
+		if err := encodeDescriptors(dw, es.Descriptors); err != nil {
+			return nil, err
+		}
+		if dw.Err() != nil {
+			return nil, dw.Err()
+		}
+		desc := dw.Bytes()
+		w.Write(uint64(es.StreamType), 8)
+		w.Write(7, 3)
+		w.Write(uint64(es.PID), 13)
+		w.Write(15, 4)
+		w.Write(uint64(len(desc)), 12)
+		w.WriteBytes(desc)
+	}
+	if err := w.Err(); err != nil {
+		return nil, err
+	}
+	s := &Section{
+		TableID:     TableIDPMT,
+		TableIDExt:  p.ProgramNumber,
+		Version:     p.Version,
+		CurrentNext: true,
+		Payload:     w.Bytes(),
+	}
+	return s.Encode()
+}
+
+// DecodePMT parses a PMT section.
+func DecodePMT(raw []byte) (*PMT, error) {
+	s, _, err := DecodeSection(raw)
+	if err != nil {
+		return nil, err
+	}
+	if s.TableID != TableIDPMT {
+		return nil, fmt.Errorf("mpegts: table id %#x is not a PMT", s.TableID)
+	}
+	r := bits.NewReader(s.Payload)
+	p := &PMT{ProgramNumber: s.TableIDExt, Version: s.Version}
+	r.Skip(3)
+	pcr, err := r.Read(13)
+	if err != nil {
+		return nil, err
+	}
+	p.PCRPID = uint16(pcr)
+	r.Skip(4)
+	pil, err := r.Read(12)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := r.ReadBytes(int(pil)); err != nil {
+		return nil, err
+	}
+	for r.Remaining() >= 40 {
+		st, _ := r.Read(8)
+		r.Skip(3)
+		pid, _ := r.Read(13)
+		r.Skip(4)
+		dl, err := r.Read(12)
+		if err != nil {
+			return nil, err
+		}
+		db, err := r.ReadBytes(int(dl))
+		if err != nil {
+			return nil, err
+		}
+		ds, err := decodeDescriptors(db)
+		if err != nil {
+			return nil, err
+		}
+		p.Streams = append(p.Streams, ESInfo{StreamType: uint8(st), PID: uint16(pid), Descriptors: ds})
+	}
+	return p, nil
+}

@@ -1,0 +1,158 @@
+package mpegts
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestPATRoundTrip(t *testing.T) {
+	pat := &PAT{
+		TransportStreamID: 0x1001,
+		Version:           3,
+		Programs:          map[uint16]uint16{1: 0x100, 2: 0x200, 65000: 0x1F00},
+	}
+	raw, err := EncodePAT(pat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodePAT(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, pat) {
+		t.Fatalf("got %+v want %+v", got, pat)
+	}
+}
+
+func TestPMTRoundTrip(t *testing.T) {
+	pmt := &PMT{
+		ProgramNumber: 1,
+		Version:       7,
+		PCRPID:        0x1FFF,
+		Streams: []ESInfo{
+			{StreamType: StreamTypeDSMCCSections, PID: 0x300,
+				Descriptors: []Descriptor{{Tag: 0x52, Data: []byte{0x01}}}},
+			{StreamType: StreamTypePrivateData, PID: 0x301},
+		},
+	}
+	raw, err := EncodePMT(pmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodePMT(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ProgramNumber != pmt.ProgramNumber || got.PCRPID != pmt.PCRPID || got.Version != pmt.Version {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.Streams) != 2 {
+		t.Fatalf("streams = %d", len(got.Streams))
+	}
+	if got.Streams[0].PID != 0x300 || got.Streams[0].StreamType != StreamTypeDSMCCSections {
+		t.Fatalf("stream 0: %+v", got.Streams[0])
+	}
+	if len(got.Streams[0].Descriptors) != 1 || got.Streams[0].Descriptors[0].Tag != 0x52 ||
+		!bytes.Equal(got.Streams[0].Descriptors[0].Data, []byte{0x01}) {
+		t.Fatalf("descriptors: %+v", got.Streams[0].Descriptors)
+	}
+	if got.Streams[1].Descriptors != nil {
+		t.Fatalf("unexpected descriptors on stream 1")
+	}
+}
+
+func TestDecodePATRejectsWrongTable(t *testing.T) {
+	pmt := &PMT{ProgramNumber: 1, PCRPID: 1}
+	raw, _ := EncodePMT(pmt)
+	if _, err := DecodePAT(raw); err == nil {
+		t.Fatal("PMT accepted as PAT")
+	}
+	pat := &PAT{Programs: map[uint16]uint16{1: 2}}
+	rawPAT, _ := EncodePAT(pat)
+	if _, err := DecodePMT(rawPAT); err == nil {
+		t.Fatal("PAT accepted as PMT")
+	}
+}
+
+func TestMuxDemuxEndToEnd(t *testing.T) {
+	mux := NewMux()
+	// Three PIDs carrying different tables, interleaved.
+	pat := &PAT{TransportStreamID: 9, Programs: map[uint16]uint16{1: 0x100}}
+	rawPAT, _ := EncodePAT(pat)
+	if err := mux.EnqueueSection(PATPID, rawPAT); err != nil {
+		t.Fatal(err)
+	}
+	var wantData [][]byte
+	for i := 0; i < 5; i++ {
+		s := &Section{TableID: TableIDDSMCCDDB, TableIDExt: uint16(i), Payload: bytes.Repeat([]byte{byte(i)}, 900)}
+		raw, _ := s.Encode()
+		wantData = append(wantData, raw)
+		if err := mux.EnqueueSection(0x300, raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stream, err := mux.DrainBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stream)%PacketSize != 0 {
+		t.Fatalf("stream not packet-aligned: %d", len(stream))
+	}
+
+	demux := NewDemux()
+	var gotPAT *PAT
+	var gotData [][]byte
+	demux.Handle(PATPID, func(sec []byte) {
+		p, err := DecodePAT(sec)
+		if err != nil {
+			t.Errorf("decode PAT: %v", err)
+			return
+		}
+		gotPAT = p
+	})
+	demux.Handle(0x300, func(sec []byte) { gotData = append(gotData, sec) })
+	if err := demux.PushBytes(stream); err != nil {
+		t.Fatal(err)
+	}
+	if gotPAT == nil || gotPAT.Programs[1] != 0x100 {
+		t.Fatalf("PAT not recovered: %+v", gotPAT)
+	}
+	if len(gotData) != len(wantData) {
+		t.Fatalf("recovered %d data sections, want %d", len(gotData), len(wantData))
+	}
+	for i := range gotData {
+		if !bytes.Equal(gotData[i], wantData[i]) {
+			t.Fatalf("data section %d differs", i)
+		}
+	}
+}
+
+func TestDemuxCountsUnhandled(t *testing.T) {
+	demux := NewDemux()
+	p := &Packet{PID: 0x99, Payload: bytes.Repeat([]byte{0}, 184)}
+	demux.PushPacket(p)
+	if demux.Unhandled != 1 {
+		t.Fatalf("Unhandled = %d", demux.Unhandled)
+	}
+}
+
+func TestDemuxUnhandle(t *testing.T) {
+	demux := NewDemux()
+	n := 0
+	demux.Handle(5, func([]byte) { n++ })
+	s := &Section{TableID: 1, Payload: []byte{1}}
+	raw, _ := s.Encode()
+	pkts, _, _ := PacketizeSection(5, 0, raw)
+	for _, p := range pkts {
+		demux.PushPacket(p)
+	}
+	demux.Unhandle(5)
+	pkts2, _, _ := PacketizeSection(5, 1, raw)
+	for _, p := range pkts2 {
+		demux.PushPacket(p)
+	}
+	if n != 1 {
+		t.Fatalf("handler ran %d times, want 1", n)
+	}
+}

@@ -1,0 +1,137 @@
+package netsim
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"oddci/internal/simtime"
+)
+
+// Packet is the unit carried by links and buses. Size is the on-the-wire
+// size in bytes and drives serialization delay; Payload is the decoded
+// content handed to the receiver (the simulation does not re-serialize
+// application objects, it accounts for their size).
+type Packet struct {
+	From      string
+	To        string
+	Payload   any
+	Size      int
+	SentAt    time.Time
+	ArrivedAt time.Time
+}
+
+// LinkConfig describes one direction of a point-to-point channel.
+type LinkConfig struct {
+	// RateBps is the capacity in bits per second. Zero means infinite.
+	RateBps float64
+	// Latency is the propagation delay added after serialization.
+	Latency time.Duration
+	// DropProb is the probability that a packet is silently lost.
+	DropProb float64
+	// Rng drives loss decisions; required when DropProb > 0.
+	Rng *rand.Rand
+}
+
+// Link is a unidirectional bandwidth/latency-modelled channel delivering
+// into a destination mailbox. Packets serialize one after another: a
+// packet's transmission starts when the previous one finishes, which is
+// what makes a shared uplink (e.g. a desktop-grid master staging images
+// over unicast) a bottleneck.
+type Link struct {
+	clk simtime.Clock
+	cfg LinkConfig
+	dst *Mailbox[Packet]
+
+	mu        sync.Mutex
+	busyUntil time.Time
+	sent      int64
+	dropped   int64
+	bytesSent int64
+}
+
+// NewLink creates a link feeding dst.
+func NewLink(clk simtime.Clock, cfg LinkConfig, dst *Mailbox[Packet]) *Link {
+	return &Link{clk: clk, cfg: cfg, dst: dst}
+}
+
+// serialization returns the time needed to clock size bytes onto the wire.
+func serialization(size int, rateBps float64) time.Duration {
+	if rateBps <= 0 {
+		return 0
+	}
+	sec := float64(size) * 8 / rateBps
+	return time.Duration(sec * float64(time.Second))
+}
+
+// Send queues p for transmission. It never blocks; the packet arrives at
+// the destination mailbox after queueing + serialization + latency.
+func (l *Link) Send(p Packet) {
+	now := l.clk.Now()
+	p.SentAt = now
+
+	l.mu.Lock()
+	start := now
+	if l.busyUntil.After(start) {
+		start = l.busyUntil
+	}
+	done := start.Add(serialization(p.Size, l.cfg.RateBps))
+	l.busyUntil = done
+	l.sent++
+	l.bytesSent += int64(p.Size)
+	drop := l.cfg.DropProb > 0 && l.cfg.Rng != nil && l.cfg.Rng.Float64() < l.cfg.DropProb
+	if drop {
+		l.dropped++
+	}
+	l.mu.Unlock()
+
+	if drop {
+		return
+	}
+	arrival := done.Add(l.cfg.Latency)
+	l.clk.AfterFunc(arrival.Sub(now), func() {
+		p.ArrivedAt = l.clk.Now()
+		l.dst.Put(p)
+	})
+}
+
+// Stats reports packets sent, packets dropped, and bytes accepted.
+func (l *Link) Stats() (sent, dropped, bytes int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sent, l.dropped, l.bytesSent
+}
+
+// Endpoint is one side of a duplex channel: an outgoing link plus an
+// incoming mailbox.
+type Endpoint struct {
+	Name string
+	out  *Link
+	In   *Mailbox[Packet]
+}
+
+// Send transmits payload of the given wire size to the peer endpoint.
+func (e *Endpoint) Send(to string, payload any, size int) {
+	e.out.Send(Packet{From: e.Name, To: to, Payload: payload, Size: size})
+}
+
+// Recv blocks for the next packet.
+func (e *Endpoint) Recv() (Packet, error) { return e.In.Recv() }
+
+// RecvTimeout blocks for the next packet up to d.
+func (e *Endpoint) RecvTimeout(d time.Duration) (Packet, error) { return e.In.RecvTimeout(d) }
+
+// Close tears down the receive side.
+func (e *Endpoint) Close() { e.In.Close() }
+
+// NewDuplex builds a full-duplex channel between two named parties with
+// per-direction configs, returning a's endpoint first.
+func NewDuplex(clk simtime.Clock, a, b string, aToB, bToA LinkConfig) (*Endpoint, *Endpoint) {
+	inA := NewMailbox[Packet](clk)
+	inB := NewMailbox[Packet](clk)
+	epA := &Endpoint{Name: a, In: inA}
+	epB := &Endpoint{Name: b, In: inB}
+	epA.out = NewLink(clk, aToB, inB)
+	epB.out = NewLink(clk, bToA, inA)
+	return epA, epB
+}

@@ -1,0 +1,162 @@
+// Package netsim emulates the two communication fabrics of an OddCI
+// system over virtual time: the one-to-many broadcast channel (capacity β)
+// and the per-node full-duplex direct channels (capacity δ) that link each
+// processing node to the Controller and the Backend.
+//
+// All pacing is expressed through simtime.Clock, so the same component
+// code runs under the wall clock (demos) and the discrete-event clock
+// (experiments) unchanged.
+package netsim
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"oddci/internal/simtime"
+)
+
+// Errors returned by mailbox and endpoint receive operations.
+var (
+	ErrClosed  = errors.New("netsim: closed")
+	ErrTimeout = errors.New("netsim: timeout")
+)
+
+// Mailbox is a clock-aware unbounded FIFO queue. Senders never block;
+// receivers block through the clock's Suspend primitive, so blocking
+// receives participate correctly in virtual-time advancement.
+type Mailbox[T any] struct {
+	clk simtime.Clock
+
+	mu      sync.Mutex
+	q       []T
+	waiters []func()
+	closed  bool
+}
+
+// NewMailbox returns an empty mailbox bound to clk.
+func NewMailbox[T any](clk simtime.Clock) *Mailbox[T] {
+	return &Mailbox[T]{clk: clk}
+}
+
+// Put enqueues v and wakes any blocked receivers. Put on a closed mailbox
+// drops v silently (the network delivered to a torn-down endpoint).
+func (m *Mailbox[T]) Put(v T) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.q = append(m.q, v)
+	w := m.waiters
+	m.waiters = nil
+	m.mu.Unlock()
+	for _, wake := range w {
+		wake()
+	}
+}
+
+// Close marks the mailbox closed. Blocked receivers return ErrClosed once
+// the queue drains.
+func (m *Mailbox[T]) Close() {
+	m.mu.Lock()
+	m.closed = true
+	w := m.waiters
+	m.waiters = nil
+	m.mu.Unlock()
+	for _, wake := range w {
+		wake()
+	}
+}
+
+// Len reports the number of queued items.
+func (m *Mailbox[T]) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.q)
+}
+
+// TryRecv dequeues without blocking.
+func (m *Mailbox[T]) TryRecv() (T, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.q) == 0 {
+		var zero T
+		return zero, false
+	}
+	v := m.q[0]
+	m.q = m.q[1:]
+	return v, true
+}
+
+// Recv blocks until an item is available or the mailbox is closed and
+// drained.
+func (m *Mailbox[T]) Recv() (T, error) {
+	for {
+		m.mu.Lock()
+		if len(m.q) > 0 {
+			v := m.q[0]
+			m.q = m.q[1:]
+			m.mu.Unlock()
+			return v, nil
+		}
+		if m.closed {
+			m.mu.Unlock()
+			var zero T
+			return zero, ErrClosed
+		}
+		m.mu.Unlock()
+		m.clk.Suspend(func(wake func()) {
+			m.mu.Lock()
+			if len(m.q) > 0 || m.closed {
+				m.mu.Unlock()
+				wake()
+				return
+			}
+			m.waiters = append(m.waiters, wake)
+			m.mu.Unlock()
+		})
+	}
+}
+
+// RecvTimeout behaves like Recv but gives up after d, returning
+// ErrTimeout.
+func (m *Mailbox[T]) RecvTimeout(d time.Duration) (T, error) {
+	deadline := m.clk.Now().Add(d)
+	for {
+		m.mu.Lock()
+		if len(m.q) > 0 {
+			v := m.q[0]
+			m.q = m.q[1:]
+			m.mu.Unlock()
+			return v, nil
+		}
+		if m.closed {
+			m.mu.Unlock()
+			var zero T
+			return zero, ErrClosed
+		}
+		m.mu.Unlock()
+
+		remaining := deadline.Sub(m.clk.Now())
+		if remaining <= 0 {
+			var zero T
+			return zero, ErrTimeout
+		}
+		var tm simtime.Timer
+		m.clk.Suspend(func(wake func()) {
+			m.mu.Lock()
+			if len(m.q) > 0 || m.closed {
+				m.mu.Unlock()
+				wake()
+				return
+			}
+			m.waiters = append(m.waiters, wake)
+			m.mu.Unlock()
+			tm = m.clk.AfterFunc(remaining, wake)
+		})
+		if tm != nil {
+			tm.Stop()
+		}
+	}
+}

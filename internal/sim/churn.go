@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+
+	"oddci/internal/simtime"
+)
+
+// ChurnJobConfig extends JobConfig with the viewer behaviour the paper's
+// model assumes away: §5.2.1 requires nodes that "will remain tuned for
+// at least the time required to complete the execution of the
+// application". This model lets them leave.
+type ChurnJobConfig struct {
+	JobConfig
+	// MeanOn and MeanOff are the exponential up/down period means.
+	MeanOn, MeanOff time.Duration
+	// LeaseSeconds is how long a task lost to a departure stays leased
+	// before the Backend re-dispatches it (default 4·p + 120 s).
+	LeaseSeconds float64
+	// RejoinDelay is the time from a node powering back on to pulling
+	// work again (middleware boot + wakeup retransmission + image
+	// re-fetch; default 1.5 carousel cycles + 60 s).
+	RejoinDelay time.Duration
+	// RetryAfter is the idle-node poll backoff (default 30 s).
+	RetryAfter time.Duration
+}
+
+// ChurnJobResult extends the base result with churn accounting.
+type ChurnJobResult struct {
+	JobResult
+	TasksLost  int
+	Departures int
+}
+
+// RunChurnJob executes the churn model.
+func RunChurnJob(cfg ChurnJobConfig) (ChurnJobResult, error) {
+	var out ChurnJobResult
+	if err := cfg.JobConfig.validate(); err != nil {
+		return out, err
+	}
+	if cfg.MeanOn <= 0 || cfg.MeanOff <= 0 {
+		return out, errors.New("sim: churn means must be positive")
+	}
+	if cfg.LeaseSeconds <= 0 {
+		cfg.LeaseSeconds = 4*cfg.TaskSeconds + 120
+	}
+	cycle := float64(cfg.ImageBytes) * 8 / cfg.Beta
+	if cfg.RejoinDelay <= 0 {
+		cfg.RejoinDelay = secs(1.5*cycle) + time.Minute
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = 30 * time.Second
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	epoch := time.Date(2009, 11, 1, 0, 0, 0, 0, time.UTC)
+	clk := simtime.NewSim(epoch)
+	perTask := secs(float64(cfg.RequestBytes+cfg.TaskInBytes)*8/cfg.Delta) +
+		secs(cfg.TaskSeconds) +
+		secs(float64(cfg.TaskOutBytes)*8/cfg.Delta)
+
+	var (
+		queue     = cfg.Tasks
+		remaining = cfg.Tasks // not yet successfully completed
+		lastDone  time.Time
+		deathAt   = make([]time.Time, cfg.Nodes)
+		alive     = make([]bool, cfg.Nodes)
+		taskCount = make([]int, cfg.Nodes)
+	)
+
+	exp := func(mean time.Duration) time.Duration {
+		return time.Duration(rng.ExpFloat64() * float64(mean))
+	}
+
+	var pull func(i int)
+	var nodeUp func(i int)
+
+	// Re-dispatched tasks re-enter the queue; idle nodes find them on
+	// their next poll (the Backend's RetryAfter backoff).
+	requeue := func(delay time.Duration) {
+		clk.AfterFunc(delay, func() { queue++ })
+	}
+
+	pull = func(i int) {
+		if !alive[i] || remaining == 0 {
+			return
+		}
+		if queue == 0 {
+			// Poll again later (a lease may expire meanwhile).
+			j := i
+			clk.AfterFunc(cfg.RetryAfter, func() {
+				if alive[j] && remaining > 0 {
+					pull(j)
+				}
+			})
+			return
+		}
+		queue--
+		done := clk.Now().Add(perTask)
+		if deathAt[i].Before(done) {
+			// The node dies mid-task: the result is lost; the Backend
+			// re-dispatches after the lease expires.
+			out.TasksLost++
+			requeue(deathAt[i].Sub(clk.Now()) + secs(cfg.LeaseSeconds))
+			return
+		}
+		j := i
+		clk.AfterFunc(perTask, func() {
+			remaining--
+			taskCount[j]++
+			lastDone = clk.Now()
+			if remaining > 0 && alive[j] {
+				pull(j)
+			}
+		})
+	}
+
+	nodeUp = func(i int) {
+		alive[i] = true
+		life := exp(cfg.MeanOn)
+		deathAt[i] = clk.Now().Add(life)
+		j := i
+		clk.AfterFunc(life, func() {
+			alive[j] = false
+			if remaining == 0 {
+				return // the job already finished; not a departure it felt
+			}
+			out.Departures++
+			off := exp(cfg.MeanOff)
+			clk.AfterFunc(off+cfg.RejoinDelay, func() {
+				if remaining > 0 {
+					nodeUp(j) // nodeUp pulls
+				}
+			})
+		})
+		pull(i)
+	}
+
+	for i := 0; i < cfg.Nodes; i++ {
+		var w time.Duration
+		switch cfg.Join {
+		case JoinSynchronized:
+			w = secs(cycle)
+		default:
+			w = secs(cycle * (1 + rng.Float64()))
+		}
+		i := i
+		clk.AfterFunc(w, func() { nodeUp(i) })
+	}
+	clk.RunUntil(epoch.Add(1000 * time.Hour))
+	if remaining != 0 {
+		return out, errors.New("sim: churn job did not complete within 1000 simulated hours")
+	}
+
+	makespan := lastDone.Sub(epoch)
+	out.Makespan = makespan
+	out.Events = clk.Fired()
+	out.TasksMin = cfg.Tasks
+	for _, tc := range taskCount {
+		if tc < out.TasksMin {
+			out.TasksMin = tc
+		}
+		if tc > out.TasksMax {
+			out.TasksMax = tc
+		}
+	}
+	p := cfg.Params()
+	out.Efficiency = p.Tasks * p.TaskSeconds / (makespan.Seconds() * p.N)
+	return out, nil
+}

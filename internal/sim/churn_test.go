@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func churnConfig(ratio, nodes int, phi float64, on, off time.Duration) ChurnJobConfig {
+	return ChurnJobConfig{
+		JobConfig: fig6Config(ratio, nodes, phi),
+		MeanOn:    on,
+		MeanOff:   off,
+	}
+}
+
+func TestChurnJobCompletes(t *testing.T) {
+	res, err := RunChurnJob(churnConfig(20, 100, 1000, 30*time.Minute, 5*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Departures == 0 {
+		t.Fatal("no churn happened")
+	}
+	if res.Efficiency <= 0 || res.Efficiency > 1 {
+		t.Fatalf("efficiency = %v", res.Efficiency)
+	}
+}
+
+func TestChurnDegradesEfficiency(t *testing.T) {
+	stable, err := RunJob(fig6Config(20, 100, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	churny, err := RunChurnJob(churnConfig(20, 100, 1000, 20*time.Minute, 5*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if churny.Efficiency >= stable.Efficiency {
+		t.Fatalf("churn did not cost anything: %v vs stable %v",
+			churny.Efficiency, stable.Efficiency)
+	}
+	if churny.TasksLost == 0 {
+		t.Fatal("no tasks lost despite task times comparable to session lengths")
+	}
+}
+
+func TestChurnMonotoneInHarshness(t *testing.T) {
+	// Harsher churn (shorter sessions) must not improve efficiency.
+	gentle, err := RunChurnJob(churnConfig(20, 100, 1000, 2*time.Hour, 5*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	harsh, err := RunChurnJob(churnConfig(20, 100, 1000, 15*time.Minute, 5*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if harsh.Efficiency > gentle.Efficiency*1.02 { // 2% noise allowance
+		t.Fatalf("harsh churn (%v) beat gentle churn (%v)", harsh.Efficiency, gentle.Efficiency)
+	}
+	if harsh.Departures <= gentle.Departures {
+		t.Fatalf("departures: harsh %d vs gentle %d", harsh.Departures, gentle.Departures)
+	}
+}
+
+func TestChurnValidation(t *testing.T) {
+	cfg := churnConfig(1, 10, 100, 0, 0)
+	if _, err := RunChurnJob(cfg); err == nil {
+		t.Fatal("zero churn means accepted")
+	}
+	bad := ChurnJobConfig{MeanOn: time.Hour, MeanOff: time.Hour}
+	if _, err := RunChurnJob(bad); err == nil {
+		t.Fatal("invalid base config accepted")
+	}
+}
+
+func TestChurnDeterministic(t *testing.T) {
+	a, err := RunChurnJob(churnConfig(10, 50, 500, 30*time.Minute, 5*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunChurnJob(churnConfig(10, 50, 500, 30*time.Minute, 5*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan || a.TasksLost != b.TasksLost {
+		t.Fatalf("nondeterministic: %v/%d vs %v/%d",
+			a.Makespan, a.TasksLost, b.Makespan, b.TasksLost)
+	}
+}

@@ -1,0 +1,175 @@
+// Package sim provides the large-N discrete-event model of an OddCI
+// instance executing a bag-of-tasks job — the engine behind the Figure
+// 6/7 sweeps, where populations up to millions of nodes and task counts
+// in the millions make the goroutine-per-node live mode (internal/
+// system) impractical.
+//
+// The model keeps exactly the quantities equation (1) is built from:
+// per-node wakeup times drawn from the carousel model, then a
+// work-conserving pull loop per node with s/δ input transfer, p
+// compute, r/δ result transfer. Everything else (heartbeats, AIT
+// signalling, maintenance) is second-order for makespan and is
+// validated separately by the live mode; an integration test pins this
+// model against the live system at small N.
+package sim
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+
+	"oddci/internal/analytic"
+	"oddci/internal/simtime"
+)
+
+// JoinModel selects how nodes' wakeup completion times are drawn.
+type JoinModel int
+
+const (
+	// JoinRandomPhase models receivers whose carousel reads begin at a
+	// uniformly random phase: W ~ U(C, 2C) for an image-dominated
+	// carousel — the paper's 1.5·I/β expectation.
+	JoinRandomPhase JoinModel = iota
+	// JoinSynchronized models receivers that all begin reading at the
+	// carousel commit: W = C for everyone (the block-cache receiver's
+	// best case).
+	JoinSynchronized
+)
+
+// JobConfig parameterizes one run.
+type JobConfig struct {
+	Nodes      int
+	Tasks      int
+	ImageBytes int64
+	// Beta and Delta are channel capacities in bps.
+	Beta, Delta float64
+	// TaskInBytes (s), TaskOutBytes (r), TaskSeconds (p).
+	TaskInBytes  int
+	TaskOutBytes int
+	TaskSeconds  float64
+	// RequestBytes is the per-pull request overhead (default 64).
+	RequestBytes int
+	Join         JoinModel
+	Seed         int64
+}
+
+func (c *JobConfig) validate() error {
+	switch {
+	case c.Nodes <= 0 || c.Tasks <= 0:
+		return errors.New("sim: nodes and tasks must be positive")
+	case c.Beta <= 0 || c.Delta <= 0:
+		return errors.New("sim: channel rates must be positive")
+	case c.TaskSeconds <= 0:
+		return errors.New("sim: task time must be positive")
+	case c.ImageBytes < 0 || c.TaskInBytes < 0 || c.TaskOutBytes < 0:
+		return errors.New("sim: sizes must be non-negative")
+	}
+	if c.RequestBytes == 0 {
+		c.RequestBytes = 64
+	}
+	return nil
+}
+
+// JobResult reports one run.
+type JobResult struct {
+	Makespan   time.Duration
+	WakeupMean time.Duration
+	WakeupMax  time.Duration
+	// Efficiency is equation (2) evaluated on the measured makespan.
+	Efficiency float64
+	// TasksMin/TasksMax report per-node load balance.
+	TasksMin, TasksMax int
+	Events             uint64
+}
+
+// Params converts the configuration to the closed-form model's inputs.
+func (c JobConfig) Params() analytic.Params {
+	return analytic.Params{
+		ImageBits:   float64(c.ImageBytes) * 8,
+		Beta:        c.Beta,
+		Delta:       c.Delta,
+		N:           float64(c.Nodes),
+		Tasks:       float64(c.Tasks),
+		TaskInBits:  float64(c.TaskInBytes) * 8,
+		TaskOutBits: float64(c.TaskOutBytes) * 8,
+		TaskSeconds: c.TaskSeconds,
+	}
+}
+
+func secs(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+
+// RunJob executes the model and returns measured quantities.
+func RunJob(cfg JobConfig) (JobResult, error) {
+	if err := cfg.validate(); err != nil {
+		return JobResult{}, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	epoch := time.Date(2009, 11, 1, 0, 0, 0, 0, time.UTC)
+	clk := simtime.NewSim(epoch)
+
+	cycle := float64(cfg.ImageBytes) * 8 / cfg.Beta
+	perTask := secs(float64(cfg.RequestBytes+cfg.TaskInBytes)*8/cfg.Delta) +
+		secs(cfg.TaskSeconds) +
+		secs(float64(cfg.TaskOutBytes)*8/cfg.Delta)
+
+	var (
+		queue     = cfg.Tasks
+		lastDone  time.Time
+		wakeSum   time.Duration
+		wakeMax   time.Duration
+		taskCount = make([]int, cfg.Nodes)
+	)
+
+	var nodeLoop func(i int)
+	nodeLoop = func(i int) {
+		if queue == 0 {
+			return
+		}
+		queue--
+		taskCount[i]++
+		clk.AfterFunc(perTask, func() {
+			lastDone = clk.Now()
+			nodeLoop(i)
+		})
+	}
+
+	for i := 0; i < cfg.Nodes; i++ {
+		var w time.Duration
+		switch cfg.Join {
+		case JoinSynchronized:
+			w = secs(cycle)
+		default:
+			w = secs(cycle * (1 + rng.Float64()))
+		}
+		wakeSum += w
+		if w > wakeMax {
+			wakeMax = w
+		}
+		i := i
+		clk.AfterFunc(w, func() { nodeLoop(i) })
+	}
+	clk.Wait()
+
+	if queue != 0 {
+		return JobResult{}, errors.New("sim: tasks left unexecuted")
+	}
+	makespan := lastDone.Sub(epoch)
+	res := JobResult{
+		Makespan:   makespan,
+		WakeupMean: wakeSum / time.Duration(cfg.Nodes),
+		WakeupMax:  wakeMax,
+		Events:     clk.Fired(),
+		TasksMin:   cfg.Tasks,
+	}
+	for _, tc := range taskCount {
+		if tc < res.TasksMin {
+			res.TasksMin = tc
+		}
+		if tc > res.TasksMax {
+			res.TasksMax = tc
+		}
+	}
+	p := cfg.Params()
+	res.Efficiency = p.Tasks * p.TaskSeconds / (makespan.Seconds() * p.N)
+	return res, nil
+}

@@ -1,0 +1,63 @@
+package simtime
+
+import (
+	"sync"
+	"time"
+)
+
+// Interrupter provides cancellable sleeps over a Clock: long waits
+// (heartbeat intervals, task execution) that must end promptly when the
+// owning component is torn down (DVE destruction, Xlet destroy, power
+// off). The zero value is ready to use.
+type Interrupter struct {
+	mu        sync.Mutex
+	cancelled bool
+	wakers    []func()
+}
+
+// Cancelled reports whether Cancel has been called.
+func (i *Interrupter) Cancelled() bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.cancelled
+}
+
+// Cancel interrupts all current and future sleeps.
+func (i *Interrupter) Cancel() {
+	i.mu.Lock()
+	i.cancelled = true
+	w := i.wakers
+	i.wakers = nil
+	i.mu.Unlock()
+	for _, wake := range w {
+		wake()
+	}
+}
+
+// Sleep blocks for d or until Cancel, whichever comes first. It reports
+// whether the full duration elapsed without cancellation.
+func (i *Interrupter) Sleep(clk Clock, d time.Duration) bool {
+	i.mu.Lock()
+	if i.cancelled {
+		i.mu.Unlock()
+		return false
+	}
+	i.mu.Unlock()
+
+	var tm Timer
+	clk.Suspend(func(wake func()) {
+		i.mu.Lock()
+		if i.cancelled {
+			i.mu.Unlock()
+			wake()
+			return
+		}
+		i.wakers = append(i.wakers, wake)
+		i.mu.Unlock()
+		tm = clk.AfterFunc(d, wake)
+	})
+	if tm != nil {
+		tm.Stop()
+	}
+	return !i.Cancelled()
+}

@@ -1,0 +1,71 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+)
+
+func TestInterrupterFullSleep(t *testing.T) {
+	clk := NewSim(epoch)
+	var it Interrupter
+	var completed bool
+	clk.Go(func() { completed = it.Sleep(clk, 5*time.Second) })
+	clk.Wait()
+	if !completed {
+		t.Fatal("uninterrupted sleep reported cancellation")
+	}
+	if !clk.Now().Equal(epoch.Add(5 * time.Second)) {
+		t.Fatalf("woke at %v", clk.Now())
+	}
+}
+
+func TestInterrupterCancelCutsSleepShort(t *testing.T) {
+	clk := NewSim(epoch)
+	var it Interrupter
+	var completed bool
+	var at time.Time
+	clk.Go(func() {
+		completed = it.Sleep(clk, time.Hour)
+		at = clk.Now()
+	})
+	clk.AfterFunc(3*time.Second, it.Cancel)
+	clk.Wait()
+	if completed {
+		t.Fatal("cancelled sleep reported completion")
+	}
+	if !at.Equal(epoch.Add(3 * time.Second)) {
+		t.Fatalf("woke at %v, want epoch+3s", at)
+	}
+}
+
+func TestInterrupterCancelBeforeSleep(t *testing.T) {
+	clk := NewSim(epoch)
+	var it Interrupter
+	it.Cancel()
+	var completed bool
+	clk.Go(func() { completed = it.Sleep(clk, time.Hour) })
+	clk.Wait()
+	if completed {
+		t.Fatal("sleep after cancel completed")
+	}
+	if !clk.Now().Equal(epoch) {
+		t.Fatal("pre-cancelled sleep consumed virtual time")
+	}
+}
+
+func TestInterrupterMultipleSleepers(t *testing.T) {
+	clk := NewSim(epoch)
+	var it Interrupter
+	results := make([]bool, 5)
+	for k := 0; k < 5; k++ {
+		k := k
+		clk.Go(func() { results[k] = it.Sleep(clk, time.Hour) })
+	}
+	clk.AfterFunc(time.Second, it.Cancel)
+	clk.Wait()
+	for k, r := range results {
+		if r {
+			t.Fatalf("sleeper %d not interrupted", k)
+		}
+	}
+}

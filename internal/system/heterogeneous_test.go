@@ -1,0 +1,83 @@
+package system
+
+import (
+	"testing"
+	"time"
+
+	"oddci/internal/core/controller"
+	"oddci/internal/core/instance"
+	"oddci/internal/simtime"
+)
+
+// A heterogeneous population: wakeup requirements must select exactly
+// the compliant stratum — "the PNA assesses its own compliance with the
+// requirements present in the message".
+func TestRequirementsSelectStratum(t *testing.T) {
+	clk := simtime.NewSim(epoch)
+	sys, err := New(Config{
+		Clock:             clk,
+		Nodes:             60,
+		Seed:              31,
+		HeartbeatPeriod:   30 * time.Second,
+		MaintenancePeriod: time.Hour, // single broadcast, no recomposition
+		DeviceMix: []DeviceSpec{
+			{Fraction: 0.5, Profile: instance.DeviceProfile{Class: instance.ClassSTB, MemMB: 256, CPUScore: 100}},
+			{Fraction: 0.3, Profile: instance.DeviceProfile{Class: instance.ClassMobile, MemMB: 128, CPUScore: 40}},
+			{Fraction: 0.2, Profile: instance.DeviceProfile{Class: instance.ClassConsole, MemMB: 512, CPUScore: 400}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Count the actual strata.
+	var stbs, mobiles, consoles int
+	for _, box := range sys.STBs {
+		switch box.Profile().Class {
+		case instance.ClassSTB:
+			stbs++
+		case instance.ClassMobile:
+			mobiles++
+		case instance.ClassConsole:
+			consoles++
+		}
+	}
+	if stbs == 0 || mobiles == 0 || consoles == 0 {
+		t.Fatalf("mix not drawn: %d/%d/%d", stbs, mobiles, consoles)
+	}
+
+	// Instance restricted to consoles with high CPU.
+	if _, err := sys.Provider.Create(controller.InstanceSpec{
+		Image:              testImage(50000),
+		Target:             consoles,
+		InitialProbability: 1,
+		Requirements: instance.Requirements{
+			Class:       instance.ClassConsole,
+			MinCPUScore: 200,
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var joined int
+	clk.AfterFunc(5*time.Minute, func() {
+		joined = sys.LiveBusy(1)
+		sys.Shutdown()
+	})
+	clk.Wait()
+	if joined != consoles {
+		t.Fatalf("joined = %d, want exactly the %d consoles", joined, consoles)
+	}
+}
+
+func TestDeviceMixValidation(t *testing.T) {
+	clk := simtime.NewSim(epoch)
+	_, err := New(Config{
+		Clock: clk, Nodes: 2, Seed: 1,
+		DeviceMix: []DeviceSpec{{Fraction: -1}},
+	})
+	if err == nil {
+		t.Fatal("negative fraction accepted")
+	}
+}

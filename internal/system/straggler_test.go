@@ -1,0 +1,75 @@
+package system
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"oddci/internal/core/controller"
+	"oddci/internal/simtime"
+	"oddci/internal/workload"
+)
+
+// Heavy-tailed task durations: the mean-based closed form underestimates
+// the makespan because the last few stragglers gate completion — a
+// regime the live pull scheduler must still complete correctly.
+func TestHeavyTailedWorkloadStragglers(t *testing.T) {
+	run := func(cv float64) time.Duration {
+		clk := simtime.NewSim(epoch)
+		sys, err := New(Config{
+			Clock:             clk,
+			Nodes:             16,
+			Seed:              61,
+			HeartbeatPeriod:   30 * time.Second,
+			MaintenancePeriod: time.Minute,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Start(); err != nil {
+			t.Fatal(err)
+		}
+		gen := workload.Generator{
+			Name: "tail", Tasks: 96, InputBytes: 512, OutputBytes: 256,
+			MeanSeconds: 10, JitterCV: cv,
+		}
+		if cv > 0 {
+			gen.Rng = rand.New(rand.NewSource(3))
+		}
+		job, err := gen.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := sys.Backend.Submit(job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.Provider.Create(controller.InstanceSpec{
+			Image:              testImage(200000),
+			Target:             16,
+			InitialProbability: 1,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		var ms time.Duration
+		h.OnComplete(func(at time.Time) {
+			ms, _ = h.Makespan()
+			sys.Shutdown()
+		})
+		clk.Wait()
+		if len(h.Results()) != 96 {
+			t.Fatalf("cv=%v: results = %d", cv, len(h.Results()))
+		}
+		if h.Redispatches() != 0 {
+			t.Fatalf("cv=%v: spurious redispatches (%d) — leases must cover jittered tasks",
+				cv, h.Redispatches())
+		}
+		return ms
+	}
+	uniform := run(0)
+	tailed := run(2.0)
+	t.Logf("makespan: uniform=%v heavy-tailed=%v", uniform, tailed)
+	if tailed <= uniform {
+		t.Fatalf("heavy tail (%v) did not stretch the makespan beyond uniform (%v)", tailed, uniform)
+	}
+}

@@ -1,0 +1,398 @@
+// Package system wires a complete OddCI-DTV deployment over virtual
+// time: one broadcast head-end (Controller + carousel + AIT), one
+// Backend, one Provider, and a fleet of simulated set-top boxes running
+// PNA Xlets under real DTV middleware. Every component is the same code
+// that unit tests exercise in isolation; this package only assembles
+// and starts them.
+//
+// The same wiring runs under the wall clock (demos) and the
+// discrete-event clock (experiments), per the simtime contract.
+package system
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"oddci/internal/control"
+	"oddci/internal/core/backend"
+	"oddci/internal/core/controller"
+	"oddci/internal/core/dve"
+	"oddci/internal/core/instance"
+	"oddci/internal/core/pna"
+	"oddci/internal/core/provider"
+	"oddci/internal/dsmcc"
+	"oddci/internal/flute"
+	"oddci/internal/middleware"
+	"oddci/internal/netsim"
+	"oddci/internal/simtime"
+	"oddci/internal/stb"
+	"oddci/internal/trace"
+)
+
+// Config sizes a deployment. Zero values select the paper's defaults.
+type Config struct {
+	Clock simtime.Clock
+	// Nodes is the number of set-top boxes.
+	Nodes int
+	// Beta is the spare broadcast capacity in bps (default 1 Mbps).
+	Beta float64
+	// Delta is the per-node direct-channel capacity in bps each way
+	// (default 150 kbps).
+	Delta float64
+	// DirectLatency is the direct channels' propagation delay.
+	DirectLatency time.Duration
+	// Seed drives every random stream in the deployment.
+	Seed int64
+	// HeartbeatPeriod is the default PNA reporting interval.
+	HeartbeatPeriod time.Duration
+	// MaintenancePeriod is the Controller's instance-size loop.
+	MaintenancePeriod time.Duration
+	// AITPeriod is the signalling repetition interval.
+	AITPeriod time.Duration
+	// Strategy selects the carousel receiver behaviour.
+	Strategy dsmcc.ReceiverStrategy
+	// StandbyFraction of nodes idle in standby; the rest are in use.
+	StandbyFraction float64
+	// Perf is the device performance model (default: paper calibration).
+	Perf stb.PerfModel
+	// InitialPowerOn is the fraction of nodes powered at Start
+	// (default 1).
+	InitialPowerOn float64
+	// Replication runs every task on this many distinct nodes with
+	// majority voting at the Backend (default 1).
+	Replication int
+	// TargetHeartbeatRate, if positive, lets the Controller re-tune
+	// idle nodes' heartbeat periods to bound its inbound load.
+	TargetHeartbeatRate float64
+	// Trace, if set, records control-plane events (wakeups, joins,
+	// resets, power transitions) into a timeline.
+	Trace *trace.Recorder
+	// Transport selects the broadcast substrate: the DTV DSM-CC
+	// carousel (default) or the FLUTE-style IP-multicast caster of
+	// §3.3.
+	Transport Transport
+	// DeviceMix, if non-empty, draws each node's profile from these
+	// weighted specs (fractions are normalized); empty means a uniform
+	// reference-STB population. This is §3's heterogeneous device
+	// universe — wakeup requirements select within it.
+	DeviceMix []DeviceSpec
+}
+
+// DeviceSpec is one stratum of a heterogeneous population.
+type DeviceSpec struct {
+	Fraction float64
+	Profile  instance.DeviceProfile
+}
+
+// Transport enumerates broadcast substrates.
+type Transport int
+
+// Broadcast substrates (§3.3 enabling technologies).
+const (
+	TransportDTV Transport = iota
+	TransportIPMulticast
+)
+
+func (c *Config) fill() error {
+	if c.Clock == nil {
+		return errors.New("system: clock is required")
+	}
+	if c.Nodes <= 0 {
+		return errors.New("system: need at least one node")
+	}
+	if c.Beta == 0 {
+		c.Beta = 1e6
+	}
+	if c.Delta == 0 {
+		c.Delta = 150e3
+	}
+	if c.HeartbeatPeriod <= 0 {
+		c.HeartbeatPeriod = time.Minute
+	}
+	if c.MaintenancePeriod <= 0 {
+		c.MaintenancePeriod = time.Minute
+	}
+	if c.AITPeriod <= 0 {
+		c.AITPeriod = middleware.DefaultAITPeriod
+	}
+	if c.InitialPowerOn == 0 {
+		c.InitialPowerOn = 1
+	}
+	if c.InitialPowerOn < 0 || c.InitialPowerOn > 1 || c.StandbyFraction < 0 || c.StandbyFraction > 1 {
+		return errors.New("system: fractions must be in [0,1]")
+	}
+	return nil
+}
+
+// System is an assembled deployment.
+type System struct {
+	cfg Config
+
+	Clock       simtime.Clock
+	Controller  *controller.Controller
+	Provider    *provider.Provider
+	Backend     *backend.Backend
+	Broadcaster middleware.ObjectCarousel
+	Signalling  *middleware.Signalling
+	Registry    *dve.Registry
+	STBs        []*stb.STB
+
+	controllerPub ed25519.PublicKey
+
+	mu      sync.Mutex
+	byInst  map[instance.ID]map[uint64]bool // live busy membership, direct observation
+	started bool
+}
+
+// New assembles (but does not start) a deployment.
+func New(cfg Config) (*System, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	clk := cfg.Clock
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	pub, priv, err := ed25519.GenerateKey(rng)
+	if err != nil {
+		return nil, fmt.Errorf("system: keygen: %w", err)
+	}
+
+	// The broadcast substrate: both implement the Controller's HeadEnd
+	// and the middleware's ObjectCarousel, so the rest of the system is
+	// identical either way.
+	var bcast interface {
+		controller.HeadEnd
+		middleware.ObjectCarousel
+	}
+	switch cfg.Transport {
+	case TransportIPMulticast:
+		caster, err := flute.NewCaster(clk, cfg.Beta)
+		if err != nil {
+			return nil, err
+		}
+		bcast = caster
+	default:
+		car, err := dsmcc.NewCarousel(0x300, 0)
+		if err != nil {
+			return nil, err
+		}
+		b, err := dsmcc.NewBroadcaster(clk, car, cfg.Beta)
+		if err != nil {
+			return nil, err
+		}
+		bcast = b
+	}
+	sig := middleware.NewSignalling(clk, cfg.AITPeriod)
+
+	ctrl, err := controller.New(controller.Config{
+		Clock:               clk,
+		Broadcaster:         bcast,
+		Signalling:          sig,
+		Key:                 priv,
+		OrgID:               0x0DDC1,
+		MaintenancePeriod:   cfg.MaintenancePeriod,
+		TargetHeartbeatRate: cfg.TargetHeartbeatRate,
+		OnWakeup: func(id instance.ID, seq uint32, probability float64) {
+			if cfg.Trace != nil {
+				cfg.Trace.Record(trace.Event{
+					At: clk.Now(), Kind: trace.KindWakeup, Instance: uint64(id),
+					Detail: fmt.Sprintf("seq=%d p=%.2f", seq, probability),
+				})
+			}
+		},
+		Rng: rand.New(rand.NewSource(rng.Int63())),
+	})
+	if err != nil {
+		return nil, err
+	}
+	be, err := backend.New(backend.Config{Clock: clk, Replication: cfg.Replication})
+	if err != nil {
+		return nil, err
+	}
+	reg := dve.NewRegistry()
+	reg.Register(backend.WorkerEntryPoint, backend.Worker)
+
+	s := &System{
+		cfg:           cfg,
+		Clock:         clk,
+		Controller:    ctrl,
+		Provider:      provider.New(ctrl),
+		Backend:       be,
+		Broadcaster:   bcast,
+		Signalling:    sig,
+		Registry:      reg,
+		controllerPub: pub,
+		byInst:        make(map[instance.ID]map[uint64]bool),
+	}
+
+	var mixTotal float64
+	for _, d := range cfg.DeviceMix {
+		if d.Fraction <= 0 {
+			return nil, errors.New("system: device-mix fractions must be positive")
+		}
+		mixTotal += d.Fraction
+	}
+	drawProfile := func(r *rand.Rand) instance.DeviceProfile {
+		if len(cfg.DeviceMix) == 0 {
+			return instance.DeviceProfile{Class: instance.ClassSTB, MemMB: 256, CPUScore: 100}
+		}
+		x := r.Float64() * mixTotal
+		for _, d := range cfg.DeviceMix {
+			if x < d.Fraction {
+				return d.Profile
+			}
+			x -= d.Fraction
+		}
+		return cfg.DeviceMix[len(cfg.DeviceMix)-1].Profile
+	}
+
+	linkCfg := netsim.LinkConfig{RateBps: cfg.Delta, Latency: cfg.DirectLatency}
+	for i := 0; i < cfg.Nodes; i++ {
+		nodeID := uint64(i + 1)
+		nodeRng := rand.New(rand.NewSource(rng.Int63()))
+		mode := stb.InUse
+		if nodeRng.Float64() < cfg.StandbyFraction {
+			mode = stb.Standby
+		}
+		box, err := stb.New(stb.Config{
+			ID:          nodeID,
+			Clock:       clk,
+			Broadcaster: bcast,
+			Signalling:  sig,
+			Profile:     drawProfile(nodeRng),
+			Perf:        cfg.Perf,
+			Mode:        mode,
+			Strategy:    cfg.Strategy,
+			Rng:         nodeRng,
+		})
+		if err != nil {
+			return nil, err
+		}
+		factory, err := pna.NewFactory(pna.Config{
+			NodeID:           nodeID,
+			Profile:          box.Profile(),
+			ControllerKey:    pub,
+			DialController:   s.dialer(linkCfg, "controller", ctrl.ServeNode),
+			DialBackend:      s.dialer(linkCfg, "backend", be.Serve),
+			Registry:         reg,
+			TaskDuration:     box.TaskDuration,
+			Rng:              rand.New(rand.NewSource(nodeRng.Int63())),
+			DefaultHeartbeat: cfg.HeartbeatPeriod,
+			OnStateChange:    s.noteState,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Trace != nil {
+			box.OnPower = func(on bool, at time.Time) {
+				kind := trace.KindPowerOff
+				if on {
+					kind = trace.KindPowerOn
+				}
+				cfg.Trace.Record(trace.Event{At: at, Kind: kind, Node: nodeID})
+			}
+		}
+		box.RegisterApp("pna.xlet", factory)
+		s.STBs = append(s.STBs, box)
+	}
+	return s, nil
+}
+
+// dialer builds a Dialer that creates a fresh duplex channel to a
+// server component and spawns its per-connection session.
+func (s *System) dialer(cfg netsim.LinkConfig, server string, serve func(*netsim.Endpoint)) pna.Dialer {
+	clk := s.Clock
+	return func() (*netsim.Endpoint, func()) {
+		client, srv := netsim.NewDuplex(clk, "node", server, cfg, cfg)
+		clk.Go(func() { serve(srv) })
+		hangup := func() {
+			client.Close()
+			srv.Close()
+		}
+		return client, hangup
+	}
+}
+
+// noteState maintains the direct (oracle) view of instance membership
+// used by tests and experiments; the Controller's own view comes only
+// from heartbeats.
+func (s *System) noteState(nodeID uint64, st control.NodeState, inst instance.ID) {
+	s.mu.Lock()
+	for _, members := range s.byInst {
+		delete(members, nodeID)
+	}
+	if st == control.StateBusy {
+		m := s.byInst[inst]
+		if m == nil {
+			m = make(map[uint64]bool)
+			s.byInst[inst] = m
+		}
+		m[nodeID] = true
+	}
+	s.mu.Unlock()
+	if s.cfg.Trace != nil {
+		kind := trace.KindLeave
+		if st == control.StateBusy {
+			kind = trace.KindJoin
+		}
+		s.cfg.Trace.Record(trace.Event{
+			At: s.Clock.Now(), Kind: kind, Node: nodeID, Instance: uint64(inst),
+		})
+	}
+}
+
+// LiveBusy reports the oracle count of nodes busy on an instance.
+func (s *System) LiveBusy(id instance.ID) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.byInst[id])
+}
+
+// Start boots the head-end and powers on the initial node fraction.
+func (s *System) Start() error {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return errors.New("system: already started")
+	}
+	s.started = true
+	s.mu.Unlock()
+
+	if err := s.Controller.Start(); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(s.cfg.Seed ^ 0x51B0))
+	for _, box := range s.STBs {
+		if rng.Float64() < s.cfg.InitialPowerOn {
+			if err := box.PowerOn(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Shutdown powers every node off and stops the head-end loops, letting
+// a simulated clock's Wait return.
+func (s *System) Shutdown() {
+	for _, box := range s.STBs {
+		box.StopChurn()
+		box.PowerOff()
+	}
+	s.Controller.Stop()
+}
+
+// PoweredOn counts live nodes.
+func (s *System) PoweredOn() int {
+	n := 0
+	for _, box := range s.STBs {
+		if box.Powered() {
+			n++
+		}
+	}
+	return n
+}

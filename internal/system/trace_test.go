@@ -1,0 +1,71 @@
+package system
+
+import (
+	"testing"
+	"time"
+
+	"oddci/internal/core/controller"
+	"oddci/internal/simtime"
+	"oddci/internal/trace"
+)
+
+// The trace recorder must capture the causal story of an instance's
+// life: wakeup broadcast → joins → (churn) leaves and recomposition
+// wakeups.
+func TestTraceTimeline(t *testing.T) {
+	clk := simtime.NewSim(epoch)
+	rec := trace.NewRecorder(0)
+	sys, err := New(Config{
+		Clock:             clk,
+		Nodes:             20,
+		Seed:              81,
+		HeartbeatPeriod:   20 * time.Second,
+		MaintenancePeriod: 30 * time.Second,
+		Trace:             rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Start(); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := sys.Provider.Create(controller.InstanceSpec{
+		Image:              testImage(50000),
+		Target:             20,
+		InitialProbability: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.AfterFunc(5*time.Minute, func() {
+		if err := inst.Destroy(); err != nil {
+			t.Errorf("destroy: %v", err)
+		}
+	})
+	clk.AfterFunc(10*time.Minute, sys.Shutdown)
+	clk.Wait()
+
+	if got := rec.Count(trace.KindWakeup); got < 1 {
+		t.Fatalf("wakeup events = %d", got)
+	}
+	if got := rec.Count(trace.KindJoin); got != 20 {
+		t.Fatalf("join events = %d, want 20", got)
+	}
+	if got := rec.Count(trace.KindLeave); got != 20 {
+		t.Fatalf("leave events = %d after destroy, want 20", got)
+	}
+	// Causality: the first join must come after the first wakeup.
+	evs := rec.Events()
+	firstWakeup, firstJoin := -1, -1
+	for i, ev := range evs {
+		if ev.Kind == trace.KindWakeup && firstWakeup == -1 {
+			firstWakeup = i
+		}
+		if ev.Kind == trace.KindJoin && firstJoin == -1 {
+			firstJoin = i
+		}
+	}
+	if firstWakeup == -1 || firstJoin == -1 || firstJoin < firstWakeup {
+		t.Fatalf("causality broken: wakeup@%d join@%d", firstWakeup, firstJoin)
+	}
+}

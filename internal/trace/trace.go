@@ -1,0 +1,136 @@
+// Package trace records the control-plane events of a running OddCI
+// deployment into a bounded in-memory timeline: wakeup broadcasts, node
+// joins and resets, power transitions. Experiments and demos use it to
+// show *why* an instance's size moved, not just that it did.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind classifies an event.
+type Kind uint8
+
+// Event kinds.
+const (
+	KindWakeup Kind = iota + 1
+	KindReset
+	KindJoin
+	KindLeave
+	KindPowerOn
+	KindPowerOff
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindWakeup:
+		return "wakeup"
+	case KindReset:
+		return "reset"
+	case KindJoin:
+		return "join"
+	case KindLeave:
+		return "leave"
+	case KindPowerOn:
+		return "power-on"
+	case KindPowerOff:
+		return "power-off"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Event is one timeline entry.
+type Event struct {
+	At       time.Time
+	Kind     Kind
+	Node     uint64 // 0 for head-end events
+	Instance uint64 // 0 when not instance-scoped
+	Detail   string
+}
+
+// Recorder is a bounded, concurrency-safe event buffer. Once full, the
+// oldest events are dropped (Dropped counts them).
+type Recorder struct {
+	mu      sync.Mutex
+	buf     []Event
+	start   int
+	count   int
+	Dropped int
+}
+
+// NewRecorder creates a recorder holding up to max events (default 4096
+// when max ≤ 0).
+func NewRecorder(max int) *Recorder {
+	if max <= 0 {
+		max = 4096
+	}
+	return &Recorder{buf: make([]Event, max)}
+}
+
+// Record appends one event.
+func (r *Recorder) Record(ev Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.count == len(r.buf) {
+		r.start = (r.start + 1) % len(r.buf)
+		r.count--
+		r.Dropped++
+	}
+	r.buf[(r.start+r.count)%len(r.buf)] = ev
+	r.count++
+}
+
+// Events returns the timeline, oldest first.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, r.count)
+	for i := 0; i < r.count; i++ {
+		out[i] = r.buf[(r.start+i)%len(r.buf)]
+	}
+	return out
+}
+
+// Count tallies events of one kind.
+func (r *Recorder) Count(kind Kind) int {
+	n := 0
+	for _, ev := range r.Events() {
+		if ev.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// Render prints the timeline with offsets relative to the first event.
+// A zero limit renders everything.
+func (r *Recorder) Render(limit int) string {
+	evs := r.Events()
+	if len(evs) == 0 {
+		return "(empty timeline)\n"
+	}
+	if limit > 0 && len(evs) > limit {
+		evs = evs[len(evs)-limit:]
+	}
+	t0 := evs[0].At
+	var b strings.Builder
+	for _, ev := range evs {
+		fmt.Fprintf(&b, "%9s  %-9s", ev.At.Sub(t0).Truncate(time.Millisecond), ev.Kind)
+		if ev.Node != 0 {
+			fmt.Fprintf(&b, "  node=%d", ev.Node)
+		}
+		if ev.Instance != 0 {
+			fmt.Fprintf(&b, "  instance=%d", ev.Instance)
+		}
+		if ev.Detail != "" {
+			fmt.Fprintf(&b, "  %s", ev.Detail)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2009, 11, 1, 0, 0, 0, 0, time.UTC)
+
+func TestRecordAndRender(t *testing.T) {
+	r := NewRecorder(16)
+	r.Record(Event{At: epoch, Kind: KindWakeup, Instance: 1, Detail: "seq=1 p=0.50"})
+	r.Record(Event{At: epoch.Add(3 * time.Second), Kind: KindJoin, Node: 7, Instance: 1})
+	r.Record(Event{At: epoch.Add(9 * time.Second), Kind: KindLeave, Node: 7})
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	if evs[0].Kind != KindWakeup || evs[2].Kind != KindLeave {
+		t.Fatalf("order wrong: %v", evs)
+	}
+	out := r.Render(0)
+	for _, want := range []string{"wakeup", "join", "node=7", "instance=1", "seq=1 p=0.50", "3s", "9s"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if r.Count(KindJoin) != 1 || r.Count(KindReset) != 0 {
+		t.Fatal("counts wrong")
+	}
+}
+
+func TestRecorderRingDropsOldest(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.Record(Event{At: epoch.Add(time.Duration(i) * time.Second), Node: uint64(i)})
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("kept %d", len(evs))
+	}
+	if evs[0].Node != 6 || evs[3].Node != 9 {
+		t.Fatalf("wrong window: %v", evs)
+	}
+	if r.Dropped != 6 {
+		t.Fatalf("dropped = %d", r.Dropped)
+	}
+}
+
+func TestRenderLimitAndEmpty(t *testing.T) {
+	r := NewRecorder(8)
+	if !strings.Contains(r.Render(0), "empty") {
+		t.Fatal("empty render wrong")
+	}
+	for i := 0; i < 5; i++ {
+		r.Record(Event{At: epoch, Kind: KindPowerOn, Node: uint64(i + 1)})
+	}
+	out := r.Render(2)
+	if strings.Count(out, "power-on") != 2 {
+		t.Fatalf("limit ignored:\n%s", out)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindWakeup: "wakeup", KindReset: "reset", KindJoin: "join",
+		KindLeave: "leave", KindPowerOn: "power-on", KindPowerOff: "power-off",
+	} {
+		if k.String() != want {
+			t.Errorf("%d → %q", k, k.String())
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package transport
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"oddci/internal/appimage"
+	"oddci/internal/control"
+	"oddci/internal/core/backend"
+	"oddci/internal/core/instance"
+	"oddci/internal/simtime"
+	"oddci/internal/workload"
+)
+
+// CoordinatorConfig assembles the server side of a TCP deployment: the
+// Controller head-end and Backend roles in one process.
+type CoordinatorConfig struct {
+	// Listen is the TCP address ("127.0.0.1:0" for tests).
+	Listen string
+	// Name labels the deployment in the banner.
+	Name string
+	// Image is the application image staged to nodes.
+	Image *appimage.Image
+	// Probability gates node participation (default 1).
+	Probability float64
+	// Requirements filter devices.
+	Requirements instance.Requirements
+	// HeartbeatPeriod instructs the nodes (default 10 s).
+	HeartbeatPeriod time.Duration
+	// Key signs control frames; generated if nil.
+	Key ed25519.PrivateKey
+}
+
+// Coordinator is the listening process.
+type Coordinator struct {
+	cfg     CoordinatorConfig
+	ln      net.Listener
+	pub     ed25519.PublicKey
+	be      *backend.Backend
+	control []byte
+	image   ImageFile
+
+	mu         sync.Mutex
+	closed     bool
+	Heartbeats int64
+	NodesSeen  map[uint64]bool
+
+	wg sync.WaitGroup
+}
+
+// NewCoordinator binds the listener and prepares the signed control
+// file.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if cfg.Image == nil {
+		return nil, errors.New("transport: coordinator needs an image")
+	}
+	if cfg.Probability == 0 {
+		cfg.Probability = 1
+	}
+	if cfg.HeartbeatPeriod <= 0 {
+		cfg.HeartbeatPeriod = 10 * time.Second
+	}
+	if cfg.Key == nil {
+		_, key, err := ed25519.GenerateKey(rand.Reader)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Key = key
+	}
+	imgRaw, err := cfg.Image.Encode()
+	if err != nil {
+		return nil, err
+	}
+	digest := appimage.DigestOf(imgRaw)
+	wakeup := &control.Wakeup{
+		InstanceID:      1,
+		Seq:             1,
+		Probability:     cfg.Probability,
+		Requirements:    cfg.Requirements,
+		ImageFile:       "image.1",
+		ImageDigest:     digest,
+		HeartbeatPeriod: cfg.HeartbeatPeriod,
+	}
+	ctrlFile, err := control.SignWakeup(wakeup, cfg.Key)
+	if err != nil {
+		return nil, err
+	}
+	be, err := backend.New(backend.Config{
+		Clock:      simtime.NewReal(),
+		RetryAfter: time.Second,
+		LeaseBase:  30 * time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, err
+	}
+	return &Coordinator{
+		cfg:       cfg,
+		ln:        ln,
+		pub:       cfg.Key.Public().(ed25519.PublicKey),
+		be:        be,
+		control:   ctrlFile,
+		image:     ImageFile{Name: "image.1", Data: imgRaw},
+		NodesSeen: make(map[uint64]bool),
+	}, nil
+}
+
+// Addr returns the bound address.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// PublicKey returns the Controller key nodes should pin.
+func (c *Coordinator) PublicKey() ed25519.PublicKey { return c.pub }
+
+// Backend exposes the scheduler for job submission.
+func (c *Coordinator) Backend() *backend.Backend { return c.be }
+
+// Submit enqueues a job and marks the backend draining so nodes go home
+// when it finishes.
+func (c *Coordinator) Submit(job *workload.Job) (*backend.JobHandle, error) {
+	h, err := c.be.Submit(job)
+	if err != nil {
+		return nil, err
+	}
+	c.be.SetDraining(true)
+	return h, nil
+}
+
+// Serve accepts node connections until Close. It returns after the
+// listener closes and every session ends.
+func (c *Coordinator) Serve() {
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			break
+		}
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			defer conn.Close()
+			c.session(conn)
+		}()
+	}
+	c.wg.Wait()
+}
+
+// Close shuts the listener down; active sessions end when their nodes
+// disconnect.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.ln.Close()
+}
+
+// Drain closes the listener and waits up to d for active node sessions
+// to wind down (each node needs one more poll to receive Done).
+func (c *Coordinator) Drain(d time.Duration) {
+	c.Close()
+	done := make(chan struct{})
+	go func() {
+		c.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(d):
+	}
+}
+
+// session runs one node connection.
+func (c *Coordinator) session(conn net.Conn) {
+	var wmu sync.Mutex
+	send := func(t FrameType, payload []byte) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		return WriteFrame(conn, t, payload)
+	}
+	sendJSON := func(t FrameType, v any) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		return WriteJSON(conn, t, v)
+	}
+
+	if err := sendJSON(FrameBanner, &Banner{ControllerKey: c.pub, Name: c.cfg.Name}); err != nil {
+		return
+	}
+	var hello Hello
+	if err := ReadJSON(conn, FrameHello, &hello); err != nil {
+		return
+	}
+	c.mu.Lock()
+	c.NodesSeen[hello.NodeID] = true
+	c.mu.Unlock()
+
+	// The "broadcast": signed control file plus the image.
+	if err := send(FrameControl, c.control); err != nil {
+		return
+	}
+	if err := sendJSON(FrameImage, &c.image); err != nil {
+		return
+	}
+
+	for {
+		t, payload, err := ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		switch t {
+		case FrameHeartbeat:
+			if _, err := control.DecodeHeartbeat(payload); err != nil {
+				continue
+			}
+			c.mu.Lock()
+			c.Heartbeats++
+			c.mu.Unlock()
+			reply := control.EncodeHeartbeatReply(&control.HeartbeatReply{Command: control.CmdNone})
+			if err := send(FrameHeartbeatReply, reply); err != nil {
+				return
+			}
+		case FrameTaskRequest:
+			var req TaskRequestMsg
+			if err := unmarshal(payload, &req); err != nil {
+				continue
+			}
+			switch m := c.be.HandleRequest(&backend.TaskRequest{NodeID: req.NodeID}).(type) {
+			case *backend.TaskAssign:
+				out := &TaskAssignMsg{JobID: m.JobID, TaskID: m.TaskID,
+					RefSeconds: m.RefSeconds, OutputSize: m.OutputSize, Payload: m.Payload}
+				if err := sendJSON(FrameTaskAssign, out); err != nil {
+					return
+				}
+			case *backend.NoTask:
+				out := &NoTaskMsg{RetryAfterMS: m.RetryAfter.Milliseconds(), Done: m.Done}
+				if err := sendJSON(FrameNoTask, out); err != nil {
+					return
+				}
+			}
+		case FrameTaskResult:
+			var res TaskResultMsg
+			if err := unmarshal(payload, &res); err != nil {
+				continue
+			}
+			c.be.HandleResult(&backend.TaskResult{
+				NodeID: res.NodeID, JobID: res.JobID, TaskID: res.TaskID, Payload: res.Payload,
+			})
+		default:
+			// Unknown frames are ignored for forward compatibility.
+		}
+	}
+}
+
+func unmarshal(payload []byte, v any) error {
+	if err := jsonUnmarshal(payload, v); err != nil {
+		return fmt.Errorf("transport: bad frame: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,233 @@
+package transport
+
+import (
+	"crypto/ed25519"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"oddci/internal/appimage"
+	"oddci/internal/control"
+	"oddci/internal/core/instance"
+	"oddci/internal/stb"
+)
+
+func jsonUnmarshal(payload []byte, v any) error { return json.Unmarshal(payload, v) }
+
+// NodeConfig parameterizes one node-agent process.
+type NodeConfig struct {
+	// Addr is the coordinator's TCP address.
+	Addr string
+	// NodeID identifies this device.
+	NodeID uint64
+	// Profile describes it (defaults to a reference STB).
+	Profile instance.DeviceProfile
+	// Perf is the device performance model.
+	Perf stb.PerfModel
+	// Mode selects in-use or standby.
+	Mode stb.Mode
+	// TimeScale divides task durations so demos finish quickly
+	// (1 = faithful, 100 = 100× faster). Default 1.
+	TimeScale float64
+	// PinnedKey, if set, must match the coordinator's banner key
+	// (otherwise trust-on-first-use).
+	PinnedKey ed25519.PublicKey
+	// Seed drives the probability draw.
+	Seed int64
+}
+
+// NodeReport summarizes one agent run.
+type NodeReport struct {
+	Joined     bool
+	TasksDone  int
+	Heartbeats int
+}
+
+// RunNode connects, obeys the broadcast control plane, executes tasks
+// until the Backend reports done, and returns.
+func RunNode(cfg NodeConfig) (report NodeReport, err error) {
+	if cfg.TimeScale <= 0 {
+		cfg.TimeScale = 1
+	}
+	if cfg.Perf.SlowdownVsPC == 0 {
+		cfg.Perf = stb.DefaultPerf()
+	}
+	if cfg.Profile == (instance.DeviceProfile{}) {
+		cfg.Profile = instance.DeviceProfile{Class: instance.ClassSTB, MemMB: 256, CPUScore: 100}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ int64(cfg.NodeID)))
+
+	conn, err := net.Dial("tcp", cfg.Addr)
+	if err != nil {
+		return report, err
+	}
+	defer conn.Close()
+
+	var banner Banner
+	if err := ReadJSON(conn, FrameBanner, &banner); err != nil {
+		return report, fmt.Errorf("transport: banner: %w", err)
+	}
+	key := ed25519.PublicKey(banner.ControllerKey)
+	if cfg.PinnedKey != nil && !key.Equal(cfg.PinnedKey) {
+		return report, errors.New("transport: coordinator key does not match pin")
+	}
+
+	var wmu sync.Mutex
+	send := func(t FrameType, payload []byte) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		return WriteFrame(conn, t, payload)
+	}
+	sendJSON := func(t FrameType, v any) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		return WriteJSON(conn, t, v)
+	}
+	if err := sendJSON(FrameHello, &Hello{
+		NodeID: cfg.NodeID, Class: uint8(cfg.Profile.Class),
+		MemMB: cfg.Profile.MemMB, CPUScore: cfg.Profile.CPUScore,
+	}); err != nil {
+		return report, err
+	}
+
+	// Acquire the wakeup and its image from the pushed "broadcast".
+	var wakeup *control.Wakeup
+	var img *appimage.Image
+	for img == nil {
+		t, payload, err := ReadFrame(conn)
+		if err != nil {
+			return report, err
+		}
+		switch t {
+		case FrameControl:
+			msgs, err := control.OpenAll(payload, key)
+			if err != nil {
+				return report, fmt.Errorf("transport: control file rejected: %w", err)
+			}
+			for _, m := range msgs {
+				if w, ok := m.(*control.Wakeup); ok {
+					wakeup = w
+				}
+			}
+			if wakeup == nil {
+				return report, errors.New("transport: no wakeup on air")
+			}
+			if !wakeup.Requirements.Match(cfg.Profile) {
+				return report, nil // not eligible; report.Joined stays false
+			}
+			if rng.Float64() >= wakeup.Probability {
+				return report, nil // probability gate dropped us
+			}
+		case FrameImage:
+			var f ImageFile
+			if err := jsonUnmarshal(payload, &f); err != nil {
+				return report, err
+			}
+			if wakeup == nil || f.Name != wakeup.ImageFile {
+				continue
+			}
+			verified, err := appimage.Verify(f.Data, wakeup.ImageDigest)
+			if err != nil {
+				return report, fmt.Errorf("transport: image rejected: %w", err)
+			}
+			img = verified
+		default:
+			// Task frames cannot arrive before we ask for work.
+		}
+	}
+	report.Joined = true
+
+	// Heartbeat loop (busy state). The counter is atomic because the
+	// loop runs concurrently with the worker below; the deferred wait
+	// folds the final count into the named return.
+	var hbCount atomic.Int64
+	stopHB := make(chan struct{})
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		period := wakeup.HeartbeatPeriod
+		if period <= 0 {
+			period = 10 * time.Second
+		}
+		period = time.Duration(float64(period) / cfg.TimeScale)
+		tick := time.NewTicker(period)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopHB:
+				return
+			case <-tick.C:
+				hb := &control.Heartbeat{
+					NodeID: cfg.NodeID, State: control.StateBusy,
+					InstanceID: wakeup.InstanceID, Profile: cfg.Profile,
+					SentAt: time.Now(),
+				}
+				if err := send(FrameHeartbeat, control.EncodeHeartbeat(hb)); err != nil {
+					return
+				}
+				hbCount.Add(1)
+			}
+		}
+	}()
+	defer func() {
+		close(stopHB)
+		hbWG.Wait()
+		report.Heartbeats = int(hbCount.Load())
+	}()
+
+	// Worker loop: pull → execute (scaled by the device model) → push.
+	// Heartbeat replies interleave with task replies on the same
+	// connection, so reads skip them.
+	readTaskReply := func() (FrameType, []byte, error) {
+		for {
+			t, payload, err := ReadFrame(conn)
+			if err != nil {
+				return 0, nil, err
+			}
+			if t == FrameHeartbeatReply {
+				continue
+			}
+			return t, payload, nil
+		}
+	}
+	for {
+		if err := sendJSON(FrameTaskRequest, &TaskRequestMsg{NodeID: cfg.NodeID}); err != nil {
+			return report, err
+		}
+		t, payload, err := readTaskReply()
+		if err != nil {
+			return report, err
+		}
+		switch t {
+		case FrameTaskAssign:
+			var a TaskAssignMsg
+			if err := jsonUnmarshal(payload, &a); err != nil {
+				return report, err
+			}
+			d := cfg.Perf.TaskDuration(a.RefSeconds, cfg.Mode)
+			time.Sleep(time.Duration(float64(d) / cfg.TimeScale))
+			res := &TaskResultMsg{NodeID: cfg.NodeID, JobID: a.JobID, TaskID: a.TaskID}
+			if err := sendJSON(FrameTaskResult, res); err != nil {
+				return report, err
+			}
+			report.TasksDone++
+		case FrameNoTask:
+			var nt NoTaskMsg
+			if err := jsonUnmarshal(payload, &nt); err != nil {
+				return report, err
+			}
+			if nt.Done {
+				return report, nil
+			}
+			time.Sleep(time.Duration(float64(nt.RetryAfter()) / cfg.TimeScale))
+		default:
+			return report, fmt.Errorf("transport: unexpected frame %d awaiting task reply", t)
+		}
+	}
+}

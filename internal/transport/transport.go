@@ -1,0 +1,166 @@
+// Package transport carries the OddCI protocol over real TCP: the
+// deployment skeleton for running the coordinator (Controller head-end
+// + Backend) and the node agents as separate processes. Frames are
+// length-prefixed with a one-byte type; control-plane payloads reuse
+// the signed binary codecs from internal/control, task-plane payloads
+// are JSON.
+//
+// Scope note: across processes the broadcast channel is emulated as a
+// server push of the carousel contents to every connected node — the
+// correct OddCI semantics (one logical transmission, every listener
+// receives it) without per-node pacing. The virtual-time simulator
+// remains the measurement instrument; this package is the interop and
+// deployment path.
+package transport
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// FrameType tags a frame.
+type FrameType uint8
+
+// Frame types.
+const (
+	// FrameHello is the node's first frame: JSON Hello.
+	FrameHello FrameType = 1
+	// FrameBanner is the coordinator's first frame: JSON Banner
+	// (carries the Controller public key, trust-on-first-use).
+	FrameBanner FrameType = 2
+	// FrameControl carries the signed control file (concatenated
+	// envelopes, internal/control codec).
+	FrameControl FrameType = 3
+	// FrameImage carries one named carousel image: JSON ImageFile.
+	FrameImage FrameType = 4
+	// FrameHeartbeat carries an encoded control.Heartbeat.
+	FrameHeartbeat FrameType = 5
+	// FrameHeartbeatReply carries an encoded control.HeartbeatReply.
+	FrameHeartbeatReply FrameType = 6
+	// FrameTaskRequest, FrameTaskAssign, FrameNoTask and
+	// FrameTaskResult carry the JSON task-plane messages.
+	FrameTaskRequest FrameType = 7
+	FrameTaskAssign  FrameType = 8
+	FrameNoTask      FrameType = 9
+	FrameTaskResult  FrameType = 10
+)
+
+// MaxFrame bounds a frame's payload (images dominate).
+const MaxFrame = 64 << 20
+
+// Hello introduces a node.
+type Hello struct {
+	NodeID uint64 `json:"node_id"`
+	// Class/MemMB/CPUScore describe the device.
+	Class    uint8  `json:"class"`
+	MemMB    uint32 `json:"mem_mb"`
+	CPUScore uint32 `json:"cpu_score"`
+}
+
+// Banner introduces the coordinator.
+type Banner struct {
+	// ControllerKey is the ed25519 public key (hex-free raw bytes,
+	// base64 via JSON) nodes verify control frames against.
+	ControllerKey []byte `json:"controller_key"`
+	// Name labels the deployment.
+	Name string `json:"name"`
+}
+
+// ImageFile is one carousel file pushed to nodes.
+type ImageFile struct {
+	Name string `json:"name"`
+	Data []byte `json:"data"`
+}
+
+// TaskRequestMsg asks for work.
+type TaskRequestMsg struct {
+	NodeID uint64 `json:"node_id"`
+}
+
+// TaskAssignMsg hands a task over.
+type TaskAssignMsg struct {
+	JobID      int     `json:"job_id"`
+	TaskID     int     `json:"task_id"`
+	RefSeconds float64 `json:"ref_seconds"`
+	OutputSize int     `json:"output_size"`
+	Payload    []byte  `json:"payload,omitempty"`
+}
+
+// NoTaskMsg backs a worker off.
+type NoTaskMsg struct {
+	RetryAfterMS int64 `json:"retry_after_ms"`
+	Done         bool  `json:"done"`
+}
+
+// RetryAfter converts the wire field.
+func (m NoTaskMsg) RetryAfter() time.Duration {
+	return time.Duration(m.RetryAfterMS) * time.Millisecond
+}
+
+// TaskResultMsg returns output.
+type TaskResultMsg struct {
+	NodeID  uint64 `json:"node_id"`
+	JobID   int    `json:"job_id"`
+	TaskID  int    `json:"task_id"`
+	Payload []byte `json:"payload,omitempty"`
+}
+
+// WriteFrame emits one frame.
+func WriteFrame(w io.Writer, t FrameType, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [5]byte
+	hdr[0] = byte(t)
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// WriteJSON marshals v and emits it as a frame of type t.
+func WriteJSON(w io.Writer, t FrameType, v any) error {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return WriteFrame(w, t, raw)
+}
+
+// ErrFrameTooLarge reports an oversized incoming frame.
+var ErrFrameTooLarge = errors.New("transport: incoming frame exceeds limit")
+
+// ReadFrame consumes one frame.
+func ReadFrame(r io.Reader) (FrameType, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > MaxFrame {
+		return 0, nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return FrameType(hdr[0]), payload, nil
+}
+
+// ReadJSON reads a frame and unmarshals it into v, checking the type.
+func ReadJSON(r io.Reader, want FrameType, v any) error {
+	t, payload, err := ReadFrame(r)
+	if err != nil {
+		return err
+	}
+	if t != want {
+		return fmt.Errorf("transport: frame type %d, want %d", t, want)
+	}
+	return json.Unmarshal(payload, v)
+}

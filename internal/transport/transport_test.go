@@ -1,0 +1,249 @@
+package transport
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"oddci/internal/appimage"
+	"oddci/internal/core/instance"
+	"oddci/internal/workload"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("hello frames")
+	if err := WriteFrame(&buf, FrameControl, payload); err != nil {
+		t.Fatal(err)
+	}
+	typ, got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != FrameControl || !bytes.Equal(got, payload) {
+		t.Fatalf("type=%d payload=%q", typ, got)
+	}
+}
+
+// Property: any frame sequence round-trips through a shared buffer.
+func TestFrameSequenceProperty(t *testing.T) {
+	f := func(seed int64, count uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(count)%10 + 1
+		var buf bytes.Buffer
+		type frame struct {
+			t FrameType
+			p []byte
+		}
+		var frames []frame
+		for i := 0; i < n; i++ {
+			p := make([]byte, rng.Intn(5000))
+			rng.Read(p)
+			fr := frame{FrameType(rng.Intn(10) + 1), p}
+			frames = append(frames, fr)
+			if err := WriteFrame(&buf, fr.t, fr.p); err != nil {
+				return false
+			}
+		}
+		for _, fr := range frames {
+			typ, p, err := ReadFrame(&buf)
+			if err != nil || typ != fr.t || !bytes.Equal(p, fr.p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	WriteFrame(&buf, FrameHello, []byte("abcdef"))
+	raw := buf.Bytes()
+	for _, cut := range []int{0, 3, len(raw) - 1} {
+		if _, _, err := ReadFrame(bytes.NewReader(raw[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestReadFrameOversizeRejected(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{byte(FrameImage), 0xFF, 0xFF, 0xFF, 0xFF})
+	if _, _, err := ReadFrame(&buf); err != ErrFrameTooLarge {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func testImage() *appimage.Image {
+	return &appimage.Image{Name: "net", Version: 1, EntryPoint: "w", Payload: make([]byte, 32<<10)}
+}
+
+func testJob(t *testing.T, n int) *workload.Job {
+	t.Helper()
+	g := workload.Generator{Name: "net", Tasks: n, InputBytes: 128, OutputBytes: 64, MeanSeconds: 2}
+	j, err := g.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+// Full deployment over real loopback TCP: coordinator + 4 node agents
+// in one process, time-scaled 200× so 2-reference-second tasks take
+// ~10 ms each.
+func TestTCPEndToEnd(t *testing.T) {
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Listen:          "127.0.0.1:0",
+		Name:            "test",
+		Image:           testImage(),
+		HeartbeatPeriod: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	go coord.Serve()
+
+	h, err := coord.Submit(testJob(t, 24))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const nodes = 4
+	var wg sync.WaitGroup
+	reports := make([]NodeReport, nodes)
+	errs := make([]error, nodes)
+	for i := 0; i < nodes; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			reports[i], errs[i] = RunNode(NodeConfig{
+				Addr:      coord.Addr(),
+				NodeID:    uint64(i + 1),
+				TimeScale: 200,
+				Seed:      9,
+				PinnedKey: coord.PublicKey(),
+			})
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v", i+1, err)
+		}
+	}
+	if _, done := h.Done(); !done {
+		t.Fatal("job incomplete")
+	}
+	total := 0
+	for i, r := range reports {
+		if !r.Joined {
+			t.Fatalf("node %d never joined", i+1)
+		}
+		total += r.TasksDone
+	}
+	if total != 24 {
+		t.Fatalf("nodes report %d tasks, want 24", total)
+	}
+	if len(coord.NodesSeen) != nodes {
+		t.Fatalf("coordinator saw %d nodes", len(coord.NodesSeen))
+	}
+}
+
+func TestTCPNodeRejectsForgedCoordinator(t *testing.T) {
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Listen: "127.0.0.1:0",
+		Image:  testImage(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	go coord.Serve()
+	if _, err := coord.Submit(testJob(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	otherPub, _, _ := ed25519.GenerateKey(rand.New(rand.NewSource(1)))
+	_, err = RunNode(NodeConfig{
+		Addr:      coord.Addr(),
+		NodeID:    1,
+		TimeScale: 200,
+		PinnedKey: otherPub,
+	})
+	if err == nil {
+		t.Fatal("node accepted a coordinator with the wrong key")
+	}
+}
+
+func TestTCPRequirementsFilter(t *testing.T) {
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Listen:       "127.0.0.1:0",
+		Image:        testImage(),
+		Requirements: instance.Requirements{Class: instance.ClassConsole},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	go coord.Serve()
+	if _, err := coord.Submit(testJob(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	report, err := RunNode(NodeConfig{
+		Addr: coord.Addr(), NodeID: 1, TimeScale: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Joined {
+		t.Fatal("STB joined a console-only instance")
+	}
+}
+
+func TestCoordinatorValidation(t *testing.T) {
+	if _, err := NewCoordinator(CoordinatorConfig{Listen: "127.0.0.1:0"}); err == nil {
+		t.Fatal("missing image accepted")
+	}
+}
+
+func TestCoordinatorDrain(t *testing.T) {
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Listen: "127.0.0.1:0", Image: testImage(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go coord.Serve()
+	if coord.Backend() == nil {
+		t.Fatal("backend accessor nil")
+	}
+	h, err := coord.Submit(testJob(t, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := RunNode(NodeConfig{
+			Addr: coord.Addr(), NodeID: 1, TimeScale: 500,
+		}); err != nil {
+			t.Errorf("node: %v", err)
+		}
+	}()
+	<-done
+	if _, ok := h.Done(); !ok {
+		t.Fatal("job incomplete")
+	}
+	coord.Drain(5 * time.Second) // returns once the session ended
+	coord.Drain(time.Second)     // idempotent
+}

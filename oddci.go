@@ -1,0 +1,291 @@
+// Package oddci is the public API of the OddCI reproduction: an
+// On-demand Distributed Computing Infrastructure (Costa et al., 2009)
+// built over an emulated digital-TV broadcast network.
+//
+// A System assembles the full OddCI-DTV stack — Provider, Controller
+// (carousel + AIT head-end), Backend, and a fleet of simulated set-top
+// boxes running PNA Xlets under DTV middleware. Everything runs over a
+// virtual clock by default, so a day of protocol activity simulates in
+// seconds and deterministically; pass RealTime to run against the wall
+// clock instead.
+//
+// Typical use:
+//
+//	sys, _ := oddci.New(oddci.Options{Nodes: 64, Seed: 1})
+//	job, _ := (&oddci.Generator{Tasks: 1000, MeanSeconds: 5,
+//	    InputBytes: 512, OutputBytes: 512, ImageBytes: 1 << 20}).Generate()
+//	handle, _ := sys.SubmitJob(job)
+//	sys.CreateInstance(oddci.InstanceSpec{
+//	    Image:  oddci.WorkerImage(1 << 20),
+//	    Target: 64, InitialProbability: 1,
+//	})
+//	makespan, _ := sys.RunJob(handle)
+package oddci
+
+import (
+	"errors"
+	"time"
+
+	"oddci/internal/analytic"
+	"oddci/internal/appimage"
+	"oddci/internal/core/backend"
+	"oddci/internal/core/controller"
+	"oddci/internal/core/dve"
+	"oddci/internal/core/instance"
+	"oddci/internal/core/provider"
+	"oddci/internal/dsmcc"
+	"oddci/internal/simtime"
+	"oddci/internal/stb"
+	"oddci/internal/system"
+	"oddci/internal/trace"
+	"oddci/internal/workload"
+)
+
+// Re-exported domain types. These are the stable names; the internal
+// packages they alias are implementation layout.
+type (
+	// Image is a deployable application image.
+	Image = appimage.Image
+	// InstanceSpec describes a requested OddCI instance.
+	InstanceSpec = controller.InstanceSpec
+	// InstanceStatus is the consolidated instance view.
+	InstanceStatus = controller.InstanceStatus
+	// Instance is a live handle on a provisioned instance.
+	Instance = provider.Instance
+	// Requirements filter eligible devices in a wakeup.
+	Requirements = instance.Requirements
+	// DeviceProfile describes one node's capabilities.
+	DeviceProfile = instance.DeviceProfile
+	// Job is a bag of independent tasks.
+	Job = workload.Job
+	// Task is one unit of work.
+	Task = workload.Task
+	// Generator builds synthetic jobs.
+	Generator = workload.Generator
+	// JobHandle tracks a submitted job.
+	JobHandle = backend.JobHandle
+	// Params is the closed-form performance model of §5.
+	Params = analytic.Params
+	// Env is the sandbox view handed to custom applications.
+	Env = dve.Env
+	// AppFunc is a custom application behaviour.
+	AppFunc = dve.AppFunc
+	// PerfModel converts task times across device modes.
+	PerfModel = stb.PerfModel
+	// STB is one simulated receiver.
+	STB = stb.STB
+	// TraceEvent is one control-plane timeline entry.
+	TraceEvent = trace.Event
+	// TraceKind classifies trace events.
+	TraceKind = trace.Kind
+)
+
+// Trace event kinds.
+const (
+	TraceWakeup   = trace.KindWakeup
+	TraceReset    = trace.KindReset
+	TraceJoin     = trace.KindJoin
+	TraceLeave    = trace.KindLeave
+	TracePowerOn  = trace.KindPowerOn
+	TracePowerOff = trace.KindPowerOff
+)
+
+// Device classes for Requirements.
+const (
+	AnyClass     = instance.AnyClass
+	ClassSTB     = instance.ClassSTB
+	ClassMobile  = instance.ClassMobile
+	ClassDesktop = instance.ClassDesktop
+	ClassConsole = instance.ClassConsole
+)
+
+// WorkerEntryPoint is the entry point of the built-in bag-of-tasks
+// worker.
+const WorkerEntryPoint = backend.WorkerEntryPoint
+
+// SetTaskPayloadHandler installs the process-wide function the built-in
+// worker uses to execute concrete task payloads (tasks whose Payload
+// carries real work, e.g. an encoded BLAST work unit). The returned
+// bytes travel back to the Backend as the task result.
+func SetTaskPayloadHandler(fn func(payload []byte) []byte) {
+	backend.RunConcrete = fn
+}
+
+// Figure6Defaults returns the paper's Figure 6/7 scenario parameters.
+func Figure6Defaults(ratio, nodes float64) Params {
+	return analytic.Figure6Defaults(ratio, nodes)
+}
+
+// WorkerImage builds an image of the given payload size that runs the
+// built-in worker.
+func WorkerImage(payloadBytes int) *Image {
+	return &Image{
+		Name:       "oddci-worker",
+		Version:    1,
+		EntryPoint: WorkerEntryPoint,
+		Payload:    make([]byte, payloadBytes),
+	}
+}
+
+// Options sizes a deployment. The zero value of every field selects the
+// paper's defaults (β = 1 Mbps, δ = 150 kbps, all nodes powered).
+type Options struct {
+	// Nodes is the number of set-top boxes. Required.
+	Nodes int
+	// Beta is the spare broadcast capacity (bps).
+	Beta float64
+	// Delta is the per-node direct-channel capacity (bps).
+	Delta float64
+	// Seed drives all randomness; runs with equal seeds are
+	// reproducible.
+	Seed int64
+	// RealTime runs against the wall clock instead of the simulated
+	// one. Virtual-time runs are the default and are deterministic.
+	RealTime bool
+	// HeartbeatPeriod is the PNA reporting interval.
+	HeartbeatPeriod time.Duration
+	// MaintenancePeriod is the Controller's size-control loop interval.
+	MaintenancePeriod time.Duration
+	// StandbyFraction of nodes idle in standby (faster CPU).
+	StandbyFraction float64
+	// BlockCacheReceivers selects the optimized carousel receiver
+	// strategy instead of the paper's file-granularity one.
+	BlockCacheReceivers bool
+	// Replication runs every task on this many distinct nodes with
+	// majority voting at the Backend — redundancy against faulty
+	// devices (default 1).
+	Replication int
+	// IPMulticast runs the broadcast over the FLUTE-style IP-multicast
+	// substrate instead of the DTV DSM-CC carousel (§3.3's alternative
+	// enabling technology).
+	IPMulticast bool
+	// TraceCapacity, if positive, records the control-plane timeline
+	// (wakeups, joins, resets, power transitions) into a ring of this
+	// many events, readable via Timeline and TraceEvents.
+	TraceCapacity int
+}
+
+// System is an assembled OddCI-DTV deployment.
+type System struct {
+	sys    *system.System
+	clk    simtime.Clock
+	sim    *simtime.Sim // nil in real-time mode
+	tracer *trace.Recorder
+}
+
+// New assembles and starts a deployment.
+func New(opts Options) (*System, error) {
+	var clk simtime.Clock
+	var sim *simtime.Sim
+	if opts.RealTime {
+		clk = simtime.NewReal()
+	} else {
+		sim = simtime.NewSim(time.Date(2009, 11, 1, 0, 0, 0, 0, time.UTC))
+		clk = sim
+	}
+	strategy := dsmcc.FileGranularity
+	if opts.BlockCacheReceivers {
+		strategy = dsmcc.BlockCache
+	}
+	transport := system.TransportDTV
+	if opts.IPMulticast {
+		transport = system.TransportIPMulticast
+	}
+	var tracer *trace.Recorder
+	if opts.TraceCapacity > 0 {
+		tracer = trace.NewRecorder(opts.TraceCapacity)
+	}
+	sys, err := system.New(system.Config{
+		Clock:             clk,
+		Nodes:             opts.Nodes,
+		Beta:              opts.Beta,
+		Delta:             opts.Delta,
+		Seed:              opts.Seed,
+		HeartbeatPeriod:   opts.HeartbeatPeriod,
+		MaintenancePeriod: opts.MaintenancePeriod,
+		StandbyFraction:   opts.StandbyFraction,
+		Strategy:          strategy,
+		Replication:       opts.Replication,
+		Transport:         transport,
+		Trace:             tracer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.Start(); err != nil {
+		return nil, err
+	}
+	return &System{sys: sys, clk: clk, sim: sim, tracer: tracer}, nil
+}
+
+// Timeline renders the recorded control-plane events (the last limit
+// entries; 0 = all). Requires Options.TraceCapacity.
+func (s *System) Timeline(limit int) string {
+	if s.tracer == nil {
+		return "(tracing disabled; set Options.TraceCapacity)\n"
+	}
+	return s.tracer.Render(limit)
+}
+
+// TraceEvents returns the recorded events, oldest first.
+func (s *System) TraceEvents() []TraceEvent {
+	if s.tracer == nil {
+		return nil
+	}
+	return s.tracer.Events()
+}
+
+// Now returns the deployment's current (virtual or wall) time.
+func (s *System) Now() time.Time { return s.clk.Now() }
+
+// RegisterApp installs a custom application behaviour on every node
+// under the given image entry point.
+func (s *System) RegisterApp(entryPoint string, fn AppFunc) {
+	s.sys.Registry.Register(entryPoint, fn)
+}
+
+// SubmitJob enqueues a job at the Backend.
+func (s *System) SubmitJob(job *Job) (*JobHandle, error) {
+	return s.sys.Backend.Submit(job)
+}
+
+// CreateInstance asks the Provider for an OddCI instance.
+func (s *System) CreateInstance(spec InstanceSpec) (*Instance, error) {
+	return s.sys.Provider.Create(spec)
+}
+
+// Population reports the Controller's (heartbeat-derived) view of idle
+// and busy nodes.
+func (s *System) Population() (idle, busy int) { return s.sys.Provider.Population() }
+
+// LiveBusy reports the oracle count of nodes busy on an instance id —
+// ground truth available because the devices are simulated.
+func (s *System) LiveBusy(id uint64) int {
+	return s.sys.LiveBusy(instance.ID(id))
+}
+
+// STBs exposes the simulated devices (churn control, power, modes).
+func (s *System) STBs() []*STB { return s.sys.STBs }
+
+// After schedules fn at now+d on the deployment's clock.
+func (s *System) After(d time.Duration, fn func()) { s.clk.AfterFunc(d, fn) }
+
+// Shutdown powers every node off and stops the head-end.
+func (s *System) Shutdown() { s.sys.Shutdown() }
+
+// Wait blocks until the deployment is quiescent (all activity wound
+// down after Shutdown).
+func (s *System) Wait() { s.clk.Wait() }
+
+// RunJob drives the deployment until the job completes, then shuts it
+// down and returns the makespan. It is the one-shot convenience for
+// simulated-time runs.
+func (s *System) RunJob(h *JobHandle) (time.Duration, error) {
+	h.OnComplete(func(time.Time) { s.Shutdown() })
+	s.Wait()
+	ms, ok := h.Makespan()
+	if !ok {
+		return 0, errors.New("oddci: job did not complete")
+	}
+	return ms, nil
+}

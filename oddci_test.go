@@ -1,0 +1,219 @@
+package oddci
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	sys, err := New(Options{Nodes: 32, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := (&Generator{
+		Name: "facade", Tasks: 128, MeanSeconds: 5,
+		InputBytes: 512, OutputBytes: 512, ImageBytes: 1 << 20,
+	}).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.SubmitJob(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.CreateInstance(InstanceSpec{
+		Image:              WorkerImage(1 << 20),
+		Target:             32,
+		InitialProbability: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := sys.RunJob(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms <= 0 {
+		t.Fatalf("makespan %v", ms)
+	}
+	if len(h.Results()) != 128 {
+		t.Fatalf("results = %d", len(h.Results()))
+	}
+}
+
+func TestFacadeCustomApp(t *testing.T) {
+	sys, err := New(Options{Nodes: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The app must stay resident: an instance whose application exits
+	// immediately is recomposed by the maintenance loop (fresh
+	// launches), which is correct but not what this test counts.
+	ran := 0
+	sys.RegisterApp("myapp", func(env *Env) error {
+		ran++
+		env.Execute(1)
+		for env.Sleep(time.Minute) {
+		}
+		return nil
+	})
+	img := &Image{Name: "custom", EntryPoint: "myapp", Payload: make([]byte, 10000)}
+	if _, err := sys.CreateInstance(InstanceSpec{
+		Image: img, Target: 8, InitialProbability: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sys.After(5*time.Minute, sys.Shutdown)
+	sys.Wait()
+	if ran != 8 {
+		t.Fatalf("custom app ran on %d of 8 nodes", ran)
+	}
+}
+
+func TestFacadeAnalytic(t *testing.T) {
+	p := Figure6Defaults(100, 10000).WithPhi(1000)
+	if e := p.Efficiency(); e < 0.9 || e > 1 {
+		t.Fatalf("efficiency = %v", e)
+	}
+}
+
+func TestFacadeMeasuredMatchesModel(t *testing.T) {
+	// The headline library promise: a simulated run lands near eq. (1).
+	const nodes, ratio = 24, 10
+	p := Figure6Defaults(ratio, nodes).WithPhi(100)
+	sys, err := New(Options{Nodes: nodes, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := (&Generator{
+		Name:        "model",
+		Tasks:       ratio * nodes,
+		MeanSeconds: p.TaskSeconds,
+		InputBytes:  int(p.TaskInBits / 8),
+		OutputBytes: int(p.TaskOutBits / 8),
+		ImageBytes:  int(p.ImageBits / 8),
+	}).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.SubmitJob(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Instantiate after the PNA Xlets are resident (steady state);
+	// creating at t=0 instead races the Xlet distribution and costs up
+	// to one extra carousel cycle.
+	createAt := sys.Now().Add(10 * time.Second)
+	sys.After(10*time.Second, func() {
+		if _, err := sys.CreateInstance(InstanceSpec{
+			Image:              WorkerImage(int(p.ImageBits / 8)),
+			Target:             nodes,
+			InitialProbability: 1,
+		}); err != nil {
+			t.Errorf("create: %v", err)
+			sys.Shutdown()
+		}
+	})
+	var measured time.Duration
+	h.OnComplete(func(at time.Time) {
+		measured = at.Sub(createAt)
+		sys.Shutdown()
+	})
+	sys.Wait()
+	if measured == 0 {
+		t.Fatal("job did not complete")
+	}
+	// Synchronized live joins beat the random-phase closed form's 1.5
+	// cycle wakeup; allow the band between ~0.55× and 1.1×.
+	model := p.Makespan()
+	rel := measured.Seconds() / model
+	if math.IsNaN(rel) || rel < 0.55 || rel > 1.1 {
+		t.Fatalf("measured %.1fs vs model %.1fs (ratio %.2f)", measured.Seconds(), model, rel)
+	}
+}
+
+func TestFacadeValidation(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+}
+
+func TestFacadeRealTimeSmoke(t *testing.T) {
+	// A tiny wall-clock run: scaled-down sizes so it finishes fast.
+	sys, err := New(Options{
+		Nodes: 3, Seed: 4, RealTime: true,
+		Beta: 800e6, Delta: 100e6, // fast channels: milliseconds of staging
+		HeartbeatPeriod:   200 * time.Millisecond,
+		MaintenancePeriod: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := (&Generator{Name: "rt", Tasks: 6, MeanSeconds: 0.02,
+		InputBytes: 128, OutputBytes: 128, ImageBytes: 4096}).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.SubmitJob(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.CreateInstance(InstanceSpec{
+		Image:              WorkerImage(4096),
+		Target:             3,
+		InitialProbability: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	h.OnComplete(func(time.Time) {
+		sys.Shutdown()
+		close(done)
+	})
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("real-time run did not complete in 30s")
+	}
+	sys.Wait()
+	if len(h.Results()) != 6 {
+		t.Fatalf("results = %d", len(h.Results()))
+	}
+}
+
+func TestFacadeTimeline(t *testing.T) {
+	sys, err := New(Options{Nodes: 4, Seed: 5, TraceCapacity: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.CreateInstance(InstanceSpec{
+		Image: WorkerImage(10000), Target: 4, InitialProbability: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sys.After(3*time.Minute, sys.Shutdown)
+	sys.Wait()
+	evs := sys.TraceEvents()
+	joins := 0
+	for _, ev := range evs {
+		if ev.Kind == TraceJoin {
+			joins++
+		}
+	}
+	if joins != 4 {
+		t.Fatalf("trace joins = %d, want 4", joins)
+	}
+	if sys.Timeline(0) == "" {
+		t.Fatal("empty timeline render")
+	}
+
+	off, err := New(Options{Nodes: 1, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.TraceEvents() != nil {
+		t.Fatal("tracing should be off by default")
+	}
+	off.Shutdown()
+	off.Wait()
+}
