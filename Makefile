@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: check fmt vet test race build
+
+## check: the full tier-1 gate — formatting, vet, build, tests with the
+## race detector (the lifecycle churn stress must pass under -race).
+check: fmt vet race
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...

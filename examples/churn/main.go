@@ -5,6 +5,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"time"
@@ -42,26 +43,57 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("%6s  %9s  %9s  %9s  %s\n", "minute", "live size", "ctrl view", "powered", "wakeup broadcasts")
-	for m := 2; m <= 40; m += 2 {
+	fmt.Printf("%6s  %9s  %9s  %9s  %s\n", "minute", "live size", "ctrl view", "powered", "state")
+	for m := 2; m <= 48; m += 2 {
 		m := m
 		sys.After(time.Duration(m)*time.Minute, func() {
-			st, err := inst.Status()
-			if err != nil {
-				return
-			}
 			powered := 0
 			for _, box := range sys.STBs() {
 				if box.Powered() {
 					powered++
 				}
 			}
-			fmt.Printf("%6d  %9d  %9d  %9d  %d\n",
-				m, sys.LiveBusy(uint64(inst.ID())), st.Busy, powered, st.Wakeups)
+			live := sys.LiveBusy(uint64(inst.ID()))
+			st, err := inst.Status()
+			switch {
+			case errors.Is(err, oddci.ErrInstanceGone):
+				fmt.Printf("%6d  %9d  %9s  %9d  garbage-collected\n", m, live, "-", powered)
+			case err != nil:
+				fmt.Printf("%6d  %9d  %9s  %9d  %v\n", m, live, "-", powered, err)
+			case st.Destroyed:
+				fmt.Printf("%6d  %9d  %9d  %9d  destroyed (reset on air)\n", m, live, st.Busy, powered)
+			default:
+				fmt.Printf("%6d  %9d  %9d  %9d  live, %d wakeup broadcasts\n",
+					m, live, st.Busy, powered, st.Wakeups)
+			}
 		})
 	}
-	sys.After(41*time.Minute, sys.Shutdown)
+	// Dismantle near the end: the reset stays on air for the
+	// retransmission window, then the instance is GC'd and the carousel
+	// returns to its baseline content.
+	sys.After(42*time.Minute, func() {
+		if err := inst.Destroy(); err != nil {
+			log.Fatal(err)
+		}
+	})
+	sys.After(49*time.Minute, sys.Shutdown)
 	sys.Wait()
-	fmt.Printf("\nlast control-plane events:\n%s", sys.Timeline(12))
-	fmt.Printf("\ninstance held near %d nodes despite continuous power cycling\n", target)
+
+	fmt.Printf("\ninstance lifecycle timeline:\n")
+	var t0 time.Time
+	for _, ev := range sys.TraceEvents() {
+		switch ev.Kind {
+		case oddci.TraceCreate, oddci.TraceDestroy, oddci.TraceGC,
+			oddci.TraceRefreshRetry, oddci.TraceRefreshOK:
+			if t0.IsZero() {
+				t0 = ev.At
+			}
+			fmt.Printf("%9s  %-9s  instance=%d  %s\n",
+				ev.At.Sub(t0).Truncate(time.Second), ev.Kind, ev.Instance, ev.Detail)
+		}
+	}
+	bytes, files, liveInst, onAir := sys.ContentStats()
+	fmt.Printf("\nhead-end after teardown: control file %d B, %d carousel files, %d live, %d resets on air\n",
+		bytes, files, liveInst, onAir)
+	fmt.Printf("instance held near %d nodes despite continuous power cycling, then drained to nothing\n", target)
 }

@@ -263,3 +263,77 @@ func TestWorkerLoopDirect(t *testing.T) {
 		t.Fatalf("makespan %v ignores the device model", ms)
 	}
 }
+
+// Task IDs are caller-chosen: non-contiguous IDs must resolve to the
+// right task for wire pacing (taskInputSize previously indexed the
+// task slice by ID, silently returning the wrong s — or panicking —
+// whenever IDs were not 0..n-1).
+func TestNonContiguousTaskIDs(t *testing.T) {
+	clk := simtime.NewSim(epoch)
+	b := newBackend(t, clk)
+	job := &workload.Job{
+		Name: "sparse",
+		Tasks: []workload.Task{
+			{ID: 100, InputBytes: 1111, OutputBytes: 1, STBSeconds: 1},
+			{ID: 5, InputBytes: 2222, OutputBytes: 1, STBSeconds: 1},
+			{ID: 31, InputBytes: 3333, OutputBytes: 1, STBSeconds: 1},
+		},
+	}
+	h, err := b.Submit(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]int{100: 1111, 5: 2222, 31: 3333}
+	seen := map[int]bool{}
+	for i := 0; i < 3; i++ {
+		a, ok := b.HandleRequest(&TaskRequest{NodeID: uint64(i + 1)}).(*TaskAssign)
+		if !ok {
+			t.Fatalf("request %d got no assignment", i)
+		}
+		if seen[a.TaskID] {
+			t.Fatalf("task %d assigned twice", a.TaskID)
+		}
+		seen[a.TaskID] = true
+		if got := taskInputSize(b, a); got != want[a.TaskID] {
+			t.Fatalf("task %d input size = %d, want %d", a.TaskID, got, want[a.TaskID])
+		}
+		b.HandleResult(&TaskResult{NodeID: uint64(i + 1), JobID: a.JobID, TaskID: a.TaskID, Payload: []byte("r")})
+	}
+	if _, done := h.Done(); !done {
+		t.Fatal("sparse-ID job did not complete")
+	}
+	if len(h.Results()) != 3 {
+		t.Fatalf("results = %d", len(h.Results()))
+	}
+}
+
+func TestSubmitRejectsBadTaskIDs(t *testing.T) {
+	clk := simtime.NewSim(epoch)
+	b := newBackend(t, clk)
+	if _, err := b.Submit(&workload.Job{Tasks: []workload.Task{{ID: -1, STBSeconds: 1}}}); err == nil {
+		t.Fatal("negative task ID accepted")
+	}
+	if _, err := b.Submit(&workload.Job{Tasks: []workload.Task{
+		{ID: 3, STBSeconds: 1}, {ID: 3, STBSeconds: 1},
+	}}); err == nil {
+		t.Fatal("duplicate task IDs accepted")
+	}
+}
+
+// taskInputSize falls back to the payload length for unknown jobs and
+// unknown task IDs instead of misreading another task's size.
+func TestTaskInputSizeUnknownFallsBack(t *testing.T) {
+	clk := simtime.NewSim(epoch)
+	b := newBackend(t, clk)
+	if _, err := b.Submit(mkJob(t, 2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	a := &TaskAssign{JobID: 99, TaskID: 0, Payload: []byte("xyz")}
+	if got := taskInputSize(b, a); got != 3 {
+		t.Fatalf("unknown job size = %d, want payload length 3", got)
+	}
+	a = &TaskAssign{JobID: 1, TaskID: 12345, Payload: []byte("xy")}
+	if got := taskInputSize(b, a); got != 2 {
+		t.Fatalf("unknown task size = %d, want payload length 2", got)
+	}
+}

@@ -125,6 +125,37 @@ func TestBackpressureLeavesBusyNodesAlone(t *testing.T) {
 	r.clk.Wait()
 }
 
+// The heartbeat budget is spent by the nodes that actually obey the
+// tuning — the idle ones. A mostly-busy population must not inflate
+// the instructed idle period (the old derivation used total node
+// count: 1000 nodes at 2/s gave 500 s where 100 idle nodes want 50 s).
+func TestBackpressureDerivesFromIdlePopulation(t *testing.T) {
+	r := newBackpressureRig(t, 2)
+	id, err := r.ctrl.CreateInstance(InstanceSpec{
+		Image: testImage(t), Target: 900, InitialProbability: 1,
+		HeartbeatPeriod: 20 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 900; i++ {
+		r.heartbeatBusy(i, id)
+	}
+	for i := uint64(901); i <= 1000; i++ {
+		r.heartbeatIdle(i)
+	}
+	reply := r.ctrl.HandleHeartbeat(&control.Heartbeat{
+		NodeID: 901, State: control.StateIdle,
+		Profile: stbProfile(), SentAt: r.clk.Now(),
+	})
+	want := 50 * time.Second // 100 idle nodes / 2 per second
+	if relDiff(reply.Period, want) > 0.25 {
+		t.Fatalf("instructed idle period %v, want ≈%v (idle population only)", reply.Period, want)
+	}
+	r.ctrl.Stop()
+	r.clk.Wait()
+}
+
 // End-of-loop sanity: a PNA receiving the instruction applies it (the
 // PNA side is covered in pna tests; this pins the protocol field).
 func TestBackpressureFieldSurvivesCodec(t *testing.T) {

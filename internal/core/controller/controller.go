@@ -56,6 +56,19 @@ type Config struct {
 	OrgID uint32
 	// MaintenancePeriod is the instance-size control loop interval.
 	MaintenancePeriod time.Duration
+	// ResetRetransmitTicks is how many maintenance passes a destroyed
+	// instance's reset envelope stays on the carousel before the
+	// instance is garbage-collected from the head-end. It must cover
+	// the longest interval a grace-windowed PNA can go without reading
+	// the control file (default 3).
+	ResetRetransmitTicks int
+	// RefreshRetryBase and RefreshRetryMax bound the exponential
+	// backoff applied when a head-end update fails: the first retry
+	// waits RefreshRetryBase, doubling up to RefreshRetryMax
+	// (defaults 5 s and 2 min). The maintenance loop also retries
+	// pending refreshes on its own cadence.
+	RefreshRetryBase time.Duration
+	RefreshRetryMax  time.Duration
 	// HeartbeatGrace is how many heartbeat periods may elapse before a
 	// silent node is presumed gone.
 	HeartbeatGrace int
@@ -77,6 +90,10 @@ type Config struct {
 	// OnWakeup, if set, observes every wakeup broadcast (initial and
 	// recompositions) — the tracing hook.
 	OnWakeup func(id instance.ID, seq uint32, probability float64)
+	// OnLifecycle, if set, observes instance lifecycle transitions and
+	// head-end refresh retries. Like OnWakeup it runs with Controller
+	// locks held and must not call back into the Controller.
+	OnLifecycle func(ev LifecycleEvent)
 	// Rng seeds sequence jitter; required.
 	Rng *rand.Rand
 }
@@ -112,8 +129,77 @@ func (c *Config) fill() error {
 	if c.MaxHeartbeatPeriod <= 0 {
 		c.MaxHeartbeatPeriod = 30 * time.Minute
 	}
+	if c.ResetRetransmitTicks <= 0 {
+		c.ResetRetransmitTicks = 3
+	}
+	if c.RefreshRetryBase <= 0 {
+		c.RefreshRetryBase = 5 * time.Second
+	}
+	if c.RefreshRetryMax < c.RefreshRetryBase {
+		c.RefreshRetryMax = 2 * time.Minute
+		if c.RefreshRetryMax < c.RefreshRetryBase {
+			c.RefreshRetryMax = c.RefreshRetryBase
+		}
+	}
 	return nil
 }
+
+// LifecycleKind classifies a LifecycleEvent.
+type LifecycleKind uint8
+
+// Lifecycle event kinds: the instance state machine
+// (live → destroyed → reset-on-air → GC'd) plus head-end refresh
+// health.
+const (
+	LifecycleCreated LifecycleKind = iota + 1
+	LifecycleRecomposed
+	LifecycleTrimmed
+	LifecycleDestroyed
+	LifecycleGCed
+	LifecycleRefreshRetry
+	LifecycleRefreshRecovered
+)
+
+// String implements fmt.Stringer.
+func (k LifecycleKind) String() string {
+	switch k {
+	case LifecycleCreated:
+		return "created"
+	case LifecycleRecomposed:
+		return "recomposed"
+	case LifecycleTrimmed:
+		return "trimmed"
+	case LifecycleDestroyed:
+		return "destroyed"
+	case LifecycleGCed:
+		return "gc"
+	case LifecycleRefreshRetry:
+		return "refresh-retry"
+	case LifecycleRefreshRecovered:
+		return "refresh-recovered"
+	default:
+		return fmt.Sprintf("LifecycleKind(%d)", uint8(k))
+	}
+}
+
+// LifecycleEvent is one Config.OnLifecycle observation.
+type LifecycleEvent struct {
+	Kind     LifecycleKind
+	Instance instance.ID // 0 for head-end-wide refresh events
+	Node     uint64      // set for trim events
+	Seq      uint32      // instance sequence at the transition
+	// Attempt is the consecutive failed-refresh count (refresh events).
+	Attempt int
+}
+
+// Lifecycle errors, distinguishable with errors.Is.
+var (
+	// ErrUnknownInstance reports an ID the Controller never issued.
+	ErrUnknownInstance = errors.New("controller: unknown instance")
+	// ErrInstanceGone reports an instance that was destroyed (and
+	// possibly already garbage-collected from the head-end).
+	ErrInstanceGone = errors.New("controller: instance destroyed")
+)
 
 // InstanceSpec is the Provider's request for one OddCI instance.
 type InstanceSpec struct {
@@ -141,6 +227,11 @@ type InstanceStatus struct {
 	Wakeups  int // wakeup broadcasts sent (1 + recompositions)
 	Resets   int
 	Trimming int // pending reset commands for excess nodes
+	// Destroyed is set once the instance is dismantled; its reset
+	// envelope stays on air until the retransmission window closes and
+	// the instance is garbage-collected (after which Status returns
+	// ErrInstanceGone).
+	Destroyed bool
 }
 
 type instState struct {
@@ -156,6 +247,9 @@ type instState struct {
 	destroyed    bool
 	lastWakeup   *control.Wakeup
 	resetEnvOpen bool // a reset envelope for this id is on air
+	// resetTicks counts the maintenance passes the reset envelope has
+	// left on air before the instance is garbage-collected.
+	resetTicks int
 }
 
 type nodeInfo struct {
@@ -191,8 +285,21 @@ type Controller struct {
 	maint      simtime.Timer
 	stopped    bool
 
+	// Carousel-refresh retry state: when a head-end Update fails the
+	// pending flag stays set and a backoff timer (plus every
+	// maintenance pass) retries until the broadcaster accepts the
+	// content again.
+	refreshPending  bool
+	refreshAttempts int
+	refreshTimer    simtime.Timer
+
 	shards    [nodeShardCount]nodeShard
 	nodeCount atomic.Int64
+	// idleCount tracks the idle subset of nodeCount; heartbeat
+	// back-pressure sizes the idle reporting period from it (only idle
+	// nodes are re-tuned, so using the total population would land the
+	// realized rate below target).
+	idleCount atomic.Int64
 
 	// heartbeatsSeen counts processed heartbeats (load accounting).
 	heartbeatsSeen atomic.Int64
@@ -241,15 +348,21 @@ func (c *Controller) Start() error {
 	return nil
 }
 
-// Stop halts the maintenance loop (tests and experiment teardown).
+// Stop halts the maintenance and refresh-retry loops (tests and
+// experiment teardown).
 func (c *Controller) Stop() {
 	c.mu.Lock()
 	c.stopped = true
 	t := c.maint
 	c.maint = nil
+	rt := c.refreshTimer
+	c.refreshTimer = nil
 	c.mu.Unlock()
 	if t != nil {
 		t.Stop()
+	}
+	if rt != nil {
+		rt.Stop()
 	}
 }
 
@@ -336,9 +449,115 @@ func (c *Controller) publishAITLocked() error {
 }
 
 // refreshCarouselLocked pushes the current contents to the broadcaster
-// (committed at the next cycle boundary).
+// (committed at the next cycle boundary). It is the raw attempt;
+// callers that must not strand on-air state behind already-bumped
+// sequence numbers go through requestRefreshLocked instead.
 func (c *Controller) refreshCarouselLocked() error {
 	return c.cfg.Broadcaster.Update(c.carouselFilesLocked())
+}
+
+// requestRefreshLocked pushes the current contents to the head-end and,
+// on failure, arms the exponential-backoff retry path so the update is
+// eventually re-attempted even if no further state change occurs.
+func (c *Controller) requestRefreshLocked() {
+	if err := c.refreshCarouselLocked(); err != nil {
+		c.refreshFailedLocked()
+		return
+	}
+	c.refreshDoneLocked()
+}
+
+// refreshDoneLocked records a successful head-end update, clearing any
+// pending retry.
+func (c *Controller) refreshDoneLocked() {
+	if c.refreshPending {
+		c.emitLocked(LifecycleEvent{Kind: LifecycleRefreshRecovered, Attempt: c.refreshAttempts})
+	}
+	c.refreshPending = false
+	c.refreshAttempts = 0
+	if c.refreshTimer != nil {
+		c.refreshTimer.Stop()
+		c.refreshTimer = nil
+	}
+}
+
+// refreshFailedLocked marks the on-air content stale and schedules a
+// retry with exponential backoff (unless one is already armed).
+func (c *Controller) refreshFailedLocked() {
+	c.refreshPending = true
+	c.refreshAttempts++
+	c.emitLocked(LifecycleEvent{Kind: LifecycleRefreshRetry, Attempt: c.refreshAttempts})
+	if c.stopped || c.refreshTimer != nil {
+		return
+	}
+	delay := c.cfg.RefreshRetryBase
+	for i := 1; i < c.refreshAttempts && delay < c.cfg.RefreshRetryMax; i++ {
+		delay *= 2
+	}
+	if delay > c.cfg.RefreshRetryMax {
+		delay = c.cfg.RefreshRetryMax
+	}
+	c.refreshTimer = c.cfg.Clock.AfterFunc(delay, c.retryRefresh)
+}
+
+// retryRefresh is the backoff timer body.
+func (c *Controller) retryRefresh() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.refreshTimer = nil
+	if c.stopped || !c.refreshPending {
+		return
+	}
+	c.requestRefreshLocked()
+}
+
+// RefreshPending reports whether a head-end update is awaiting retry,
+// and how many consecutive attempts have failed.
+func (c *Controller) RefreshPending() (bool, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.refreshPending, c.refreshAttempts
+}
+
+func (c *Controller) emitLocked(ev LifecycleEvent) {
+	if c.cfg.OnLifecycle != nil {
+		c.cfg.OnLifecycle(ev)
+	}
+}
+
+// lookupLocked resolves an instance ID, distinguishing IDs the
+// Controller never issued (ErrUnknownInstance) from instances already
+// garbage-collected after destruction (ErrInstanceGone). A destroyed
+// instance still inside its reset-retransmission window resolves
+// normally with st.destroyed set.
+func (c *Controller) lookupLocked(id instance.ID) (*instState, error) {
+	if st, ok := c.instances[id]; ok {
+		return st, nil
+	}
+	if id == 0 || id >= c.nextID {
+		return nil, fmt.Errorf("%w %d", ErrUnknownInstance, id)
+	}
+	return nil, fmt.Errorf("%w: %d garbage-collected", ErrInstanceGone, id)
+}
+
+// ContentStats reports the head-end content assembled from current
+// state: control-file bytes, carousel file count, and the live /
+// destroyed-on-air instance split. Lifecycle tests use it to assert the
+// head-end stays bounded under churn.
+func (c *Controller) ContentStats() (controlFileBytes, carouselFiles, live, destroyedOnAir int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	files := c.carouselFilesLocked()
+	carouselFiles = len(files)
+	controlFileBytes = len(files[1].Data)
+	for _, st := range c.instances {
+		if st.destroyed {
+			destroyedOnAir++
+		} else {
+			live++
+		}
+	}
+	return controlFileBytes, carouselFiles, live, destroyedOnAir
 }
 
 // idleEligibleLocked estimates the idle population matching req from
@@ -448,10 +667,15 @@ func (c *Controller) CreateInstance(spec InstanceSpec) (instance.ID, error) {
 	c.instances[id] = st
 	c.order = append(c.order, id)
 	if err := c.refreshCarouselLocked(); err != nil {
+		// Roll back: the head-end rejected the update, so nothing of
+		// this instance is on air. A refresh already pending from an
+		// earlier failure keeps its retry schedule.
 		delete(c.instances, id)
 		c.order = c.order[:len(c.order)-1]
-		return 0, err
+		return 0, fmt.Errorf("controller: stage instance %d: %w", id, err)
 	}
+	c.refreshDoneLocked()
+	c.emitLocked(LifecycleEvent{Kind: LifecycleCreated, Instance: id, Seq: st.seq})
 	if c.cfg.OnWakeup != nil {
 		c.cfg.OnWakeup(id, st.seq, prob)
 	}
@@ -466,9 +690,12 @@ func (c *Controller) Resize(id instance.ID, target int) error {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	st, ok := c.instances[id]
-	if !ok || st.destroyed {
-		return fmt.Errorf("controller: unknown instance %d", id)
+	st, err := c.lookupLocked(id)
+	if err != nil {
+		return err
+	}
+	if st.destroyed {
+		return fmt.Errorf("%w: %d", ErrInstanceGone, id)
 	}
 	st.spec.Target = target
 	if excess := len(st.members) - target; excess > 0 {
@@ -480,28 +707,51 @@ func (c *Controller) Resize(id instance.ID, target int) error {
 }
 
 // DestroyInstance dismantles an instance: a signed reset goes on air
-// and the image leaves the carousel.
+// and the image leaves the carousel. Destruction commits immediately
+// even when the head-end update fails — the refresh retries with
+// backoff until the broadcaster accepts it. The reset envelope stays on
+// air for ResetRetransmitTicks maintenance passes, after which the
+// maintenance loop garbage-collects the instance entirely.
 func (c *Controller) DestroyInstance(id instance.ID) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	st, ok := c.instances[id]
-	if !ok || st.destroyed {
-		return fmt.Errorf("controller: unknown instance %d", id)
+	st, err := c.lookupLocked(id)
+	if err != nil {
+		return err
+	}
+	if st.destroyed {
+		return fmt.Errorf("%w: %d", ErrInstanceGone, id)
 	}
 	st.destroyed = true
 	st.resetEnvOpen = true
+	st.resetTicks = c.cfg.ResetRetransmitTicks
 	st.seq++
 	st.resets++
-	return c.refreshCarouselLocked()
+	st.trimPending = 0
+	st.members = nil // the frozen membership view is stale from here on
+	c.emitLocked(LifecycleEvent{Kind: LifecycleDestroyed, Instance: id, Seq: st.seq})
+	c.requestRefreshLocked()
+	return nil
 }
 
-// Status reports the consolidated instance view.
+// Status reports the consolidated instance view. A destroyed instance
+// still inside its reset-retransmission window reports Destroyed with
+// zeroed membership counters; a garbage-collected one returns
+// ErrInstanceGone, and an ID that never existed ErrUnknownInstance.
 func (c *Controller) Status(id instance.ID) (InstanceStatus, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	st, ok := c.instances[id]
-	if !ok {
-		return InstanceStatus{}, fmt.Errorf("controller: unknown instance %d", id)
+	st, err := c.lookupLocked(id)
+	if err != nil {
+		return InstanceStatus{}, err
+	}
+	if st.destroyed {
+		return InstanceStatus{
+			ID:        id,
+			Wakeups:   st.wakeups,
+			Resets:    st.resets,
+			Destroyed: true,
+		}, nil
 	}
 	return InstanceStatus{
 		ID:       id,
@@ -536,7 +786,10 @@ func (c *Controller) Population() (idle, busy int) {
 }
 
 // maintain is the periodic control loop: expire silent nodes, recompose
-// deficient instances, keep trim counters consistent.
+// deficient instances, keep trim counters consistent, and run down the
+// reset-retransmission windows of destroyed instances, garbage-
+// collecting them from the head-end once every grace-windowed PNA has
+// had its chance to observe the reset.
 func (c *Controller) maintain() {
 	c.mu.Lock()
 	now := c.cfg.Clock.Now()
@@ -549,6 +802,9 @@ func (c *Controller) maintain() {
 				if st, ok := c.instances[ni.instanceID]; ok {
 					delete(st.members, id)
 				}
+				if ni.state == control.StateIdle {
+					c.idleCount.Add(-1)
+				}
 				delete(sh.nodes, id)
 				c.nodeCount.Add(-1)
 			}
@@ -558,6 +814,8 @@ func (c *Controller) maintain() {
 	refresh := false
 	for _, st := range c.instances {
 		if st.destroyed {
+			// Count down the reset-retransmission window.
+			st.resetTicks--
 			continue
 		}
 		// Drop members whose heartbeats stopped.
@@ -587,17 +845,36 @@ func (c *Controller) maintain() {
 				w.Probability = c.probabilityFor(deficit, pop)
 				st.lastWakeup = &w
 				refresh = true
+				c.emitLocked(LifecycleEvent{Kind: LifecycleRecomposed, Instance: st.id, Seq: st.seq})
 				if c.cfg.OnWakeup != nil {
 					c.cfg.OnWakeup(st.id, st.seq, w.Probability)
 				}
 			}
 		}
 	}
-	if refresh {
-		if err := c.refreshCarouselLocked(); err != nil {
-			// The update re-runs on the next maintenance tick.
-			refresh = false
+	// Garbage-collect destroyed instances whose retransmission window
+	// has closed: the reset envelope leaves the control file and the
+	// instState leaves the tables, so the head-end stays bounded under
+	// sustained create/destroy churn.
+	var gced []instance.ID
+	for id, st := range c.instances {
+		if st.destroyed && st.resetTicks <= 0 {
+			gced = append(gced, id)
 		}
+	}
+	for _, id := range gced {
+		delete(c.instances, id)
+		for i, oid := range c.order {
+			if oid == id {
+				c.order = append(c.order[:i], c.order[i+1:]...)
+				break
+			}
+		}
+		refresh = true
+		c.emitLocked(LifecycleEvent{Kind: LifecycleGCed, Instance: id})
+	}
+	if refresh || c.refreshPending {
+		c.requestRefreshLocked()
 	}
 	c.mu.Unlock()
 }
@@ -639,6 +916,16 @@ func (c *Controller) HandleHeartbeat(hb *control.Heartbeat) *control.HeartbeatRe
 		ni = &nodeInfo{}
 		sh.nodes[hb.NodeID] = ni
 		c.nodeCount.Add(1)
+		if hb.State == control.StateIdle {
+			c.idleCount.Add(1)
+		}
+	} else if ni.state != hb.State {
+		switch {
+		case hb.State == control.StateIdle:
+			c.idleCount.Add(1)
+		case ni.state == control.StateIdle:
+			c.idleCount.Add(-1)
+		}
 	}
 	oldInstance := ni.instanceID
 	ni.state = hb.State
@@ -648,9 +935,11 @@ func (c *Controller) HandleHeartbeat(hb *control.Heartbeat) *control.HeartbeatRe
 
 	reply := &control.HeartbeatReply{Command: control.CmdNone}
 	if hb.State == control.StateIdle && c.cfg.TargetHeartbeatRate > 0 {
-		// Back-pressure: spread the idle population's reports over the
-		// target rate.
-		desired := time.Duration(float64(c.nodeCount.Load()) / c.cfg.TargetHeartbeatRate * float64(time.Second))
+		// Back-pressure: spread the *idle* population's reports over
+		// the target rate. Busy nodes keep their instance's period and
+		// are not re-tuned, so sizing from the total population would
+		// leave the realized idle rate below target.
+		desired := time.Duration(float64(c.idleCount.Load()) / c.cfg.TargetHeartbeatRate * float64(time.Second))
 		if desired < c.cfg.MinHeartbeatPeriod {
 			desired = c.cfg.MinHeartbeatPeriod
 		}
@@ -693,6 +982,7 @@ func (c *Controller) HandleHeartbeat(hb *control.Heartbeat) *control.HeartbeatRe
 			delete(st.members, hb.NodeID)
 			trimmed = true
 			reply.Command = control.CmdReset
+			c.emitLocked(LifecycleEvent{Kind: LifecycleTrimmed, Instance: st.id, Node: hb.NodeID, Seq: st.seq})
 		default:
 			st.members[hb.NodeID] = now
 		}
@@ -706,6 +996,9 @@ func (c *Controller) HandleHeartbeat(hb *control.Heartbeat) *control.HeartbeatRe
 		sh.mu.Lock()
 		if cur := sh.nodes[hb.NodeID]; cur != nil {
 			if trimmed {
+				if cur.state != control.StateIdle {
+					c.idleCount.Add(1)
+				}
 				cur.state = control.StateIdle
 				cur.instanceID = 0
 			}

@@ -23,9 +23,17 @@ type rig struct {
 	pub   ed25519.PublicKey
 	sig   *middleware.Signalling
 	bcast *dsmcc.Broadcaster
+	car   *dsmcc.Carousel
 }
 
 func newRig(t *testing.T) *rig {
+	return newRigWith(t, nil, nil)
+}
+
+// newRigWith builds a rig whose Controller head-end is optionally
+// wrapped (fault injection) and whose Config is optionally tweaked
+// before construction.
+func newRigWith(t *testing.T, wrap func(HeadEnd) HeadEnd, tweak func(*Config)) *rig {
 	t.Helper()
 	clk := simtime.NewSim(epoch)
 	car, err := dsmcc.NewCarousel(0x300, 0)
@@ -42,18 +50,26 @@ func newRig(t *testing.T) *rig {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ctrl, err := New(Config{
-		Clock: clk, Broadcaster: bcast, Signalling: sig,
+	head := HeadEnd(bcast)
+	if wrap != nil {
+		head = wrap(head)
+	}
+	cfg := Config{
+		Clock: clk, Broadcaster: head, Signalling: sig,
 		Key: priv, Rng: rng,
 		MaintenancePeriod: 30 * time.Second,
-	})
+	}
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	ctrl, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := ctrl.Start(); err != nil {
 		t.Fatal(err)
 	}
-	return &rig{clk: clk, ctrl: ctrl, pub: pub, sig: sig, bcast: bcast}
+	return &rig{clk: clk, ctrl: ctrl, pub: pub, sig: sig, bcast: bcast, car: car}
 }
 
 // advance drives the event loop a bounded amount of virtual time

@@ -86,7 +86,16 @@ func (i *Instance) Resize(target int) error {
 	return i.p.ctrl.Resize(i.id, target)
 }
 
-// Destroy dismantles the instance.
+// Destroyed reports whether Destroy has been called on this handle.
+func (i *Instance) Destroyed() bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.destroyed
+}
+
+// Destroy dismantles the instance. Finding the Controller has already
+// destroyed (or garbage-collected) it is not an error: the state the
+// caller asked for holds either way.
 func (i *Instance) Destroy() error {
 	i.mu.Lock()
 	if i.destroyed {
@@ -95,7 +104,8 @@ func (i *Instance) Destroy() error {
 	}
 	i.destroyed = true
 	i.mu.Unlock()
-	if err := i.p.ctrl.DestroyInstance(i.id); err != nil {
+	err := i.p.ctrl.DestroyInstance(i.id)
+	if err != nil && !errors.Is(err, controller.ErrInstanceGone) {
 		return fmt.Errorf("provider: destroy %d: %w", i.id, err)
 	}
 	i.p.mu.Lock()

@@ -69,8 +69,20 @@ type Config struct {
 	// idle nodes' heartbeat periods to bound its inbound load.
 	TargetHeartbeatRate float64
 	// Trace, if set, records control-plane events (wakeups, joins,
-	// resets, power transitions) into a timeline.
+	// resets, power transitions, instance lifecycle, refresh health)
+	// into a timeline.
 	Trace *trace.Recorder
+	// HeadEndFaults, if set, injects failures into the Controller's
+	// carousel updates (not into the receivers), exercising the
+	// refresh-retry path. Start is never injected.
+	HeadEndFaults *netsim.FaultPlan
+	// ResetRetransmitTicks is how many maintenance passes a destroyed
+	// instance's reset stays on air before GC (default 3).
+	ResetRetransmitTicks int
+	// RefreshRetryBase and RefreshRetryMax bound the Controller's
+	// head-end retry backoff (defaults 5s and 2min).
+	RefreshRetryBase time.Duration
+	RefreshRetryMax  time.Duration
 	// Transport selects the broadcast substrate: the DTV DSM-CC
 	// carousel (default) or the FLUTE-style IP-multicast caster of
 	// §3.3.
@@ -188,14 +200,53 @@ func New(cfg Config) (*System, error) {
 	}
 	sig := middleware.NewSignalling(clk, cfg.AITPeriod)
 
+	// Fault injection wraps only the Controller's transmit path; the
+	// receivers keep reading whatever the carousel last committed.
+	head := controller.HeadEnd(bcast)
+	if cfg.HeadEndFaults != nil {
+		head = &faultyHeadEnd{inner: bcast, plan: cfg.HeadEndFaults}
+	}
+
+	var onLifecycle func(controller.LifecycleEvent)
+	if cfg.Trace != nil {
+		onLifecycle = func(ev controller.LifecycleEvent) {
+			var kind trace.Kind
+			detail := ""
+			switch ev.Kind {
+			case controller.LifecycleCreated:
+				kind = trace.KindCreate
+			case controller.LifecycleTrimmed:
+				kind = trace.KindTrim
+			case controller.LifecycleDestroyed:
+				kind = trace.KindDestroy
+			case controller.LifecycleGCed:
+				kind = trace.KindGC
+			case controller.LifecycleRefreshRetry:
+				kind, detail = trace.KindRefreshRetry, fmt.Sprintf("attempt=%d", ev.Attempt)
+			case controller.LifecycleRefreshRecovered:
+				kind, detail = trace.KindRefreshOK, fmt.Sprintf("attempts=%d", ev.Attempt)
+			default:
+				// Recompositions already surface as wakeup events.
+				return
+			}
+			cfg.Trace.Record(trace.Event{
+				At: clk.Now(), Kind: kind, Node: ev.Node, Instance: uint64(ev.Instance), Detail: detail,
+			})
+		}
+	}
+
 	ctrl, err := controller.New(controller.Config{
-		Clock:               clk,
-		Broadcaster:         bcast,
-		Signalling:          sig,
-		Key:                 priv,
-		OrgID:               0x0DDC1,
-		MaintenancePeriod:   cfg.MaintenancePeriod,
-		TargetHeartbeatRate: cfg.TargetHeartbeatRate,
+		Clock:                clk,
+		Broadcaster:          head,
+		Signalling:           sig,
+		Key:                  priv,
+		OrgID:                0x0DDC1,
+		MaintenancePeriod:    cfg.MaintenancePeriod,
+		TargetHeartbeatRate:  cfg.TargetHeartbeatRate,
+		ResetRetransmitTicks: cfg.ResetRetransmitTicks,
+		RefreshRetryBase:     cfg.RefreshRetryBase,
+		RefreshRetryMax:      cfg.RefreshRetryMax,
+		OnLifecycle:          onLifecycle,
 		OnWakeup: func(id instance.ID, seq uint32, probability float64) {
 			if cfg.Trace != nil {
 				cfg.Trace.Record(trace.Event{
@@ -287,8 +338,14 @@ func New(cfg Config) (*System, error) {
 		if err != nil {
 			return nil, err
 		}
-		if cfg.Trace != nil {
-			box.OnPower = func(on bool, at time.Time) {
+		box.OnPower = func(on bool, at time.Time) {
+			if !on {
+				// A box that dies mid-task leaves no state-change
+				// callback behind; evict it from the oracle so LiveBusy
+				// does not count ghosts.
+				s.notePowerGone(nodeID)
+			}
+			if cfg.Trace != nil {
 				kind := trace.KindPowerOff
 				if on {
 					kind = trace.KindPowerOn
@@ -300,6 +357,23 @@ func New(cfg Config) (*System, error) {
 		s.STBs = append(s.STBs, box)
 	}
 	return s, nil
+}
+
+// faultyHeadEnd makes the Controller's carousel updates fail according
+// to a deterministic netsim.FaultPlan. Bring-up (Start) is passed
+// through untouched so injected runs always reach steady state.
+type faultyHeadEnd struct {
+	inner controller.HeadEnd
+	plan  *netsim.FaultPlan
+}
+
+func (f *faultyHeadEnd) Start(files []dsmcc.File) error { return f.inner.Start(files) }
+
+func (f *faultyHeadEnd) Update(files []dsmcc.File) error {
+	if f.plan.Next() {
+		return errors.New("system: injected head-end update failure")
+	}
+	return f.inner.Update(files)
 }
 
 // dialer builds a Dialer that creates a fresh duplex channel to a
@@ -343,6 +417,15 @@ func (s *System) noteState(nodeID uint64, st control.NodeState, inst instance.ID
 			At: s.Clock.Now(), Kind: kind, Node: nodeID, Instance: uint64(inst),
 		})
 	}
+}
+
+// notePowerGone drops a powered-off node from the oracle membership.
+func (s *System) notePowerGone(nodeID uint64) {
+	s.mu.Lock()
+	for _, members := range s.byInst {
+		delete(members, nodeID)
+	}
+	s.mu.Unlock()
 }
 
 // LiveBusy reports the oracle count of nodes busy on an instance.

@@ -22,6 +22,14 @@ const (
 	KindLeave
 	KindPowerOn
 	KindPowerOff
+	// Instance lifecycle (live → destroyed → reset-on-air → GC'd) and
+	// head-end refresh health, emitted by the Controller.
+	KindCreate
+	KindTrim
+	KindDestroy
+	KindGC
+	KindRefreshRetry
+	KindRefreshOK
 )
 
 // String implements fmt.Stringer.
@@ -39,6 +47,18 @@ func (k Kind) String() string {
 		return "power-on"
 	case KindPowerOff:
 		return "power-off"
+	case KindCreate:
+		return "create"
+	case KindTrim:
+		return "trim"
+	case KindDestroy:
+		return "destroy"
+	case KindGC:
+		return "gc"
+	case KindRefreshRetry:
+		return "refresh-retry"
+	case KindRefreshOK:
+		return "refresh-ok"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}

@@ -66,6 +66,8 @@ func TestKindStrings(t *testing.T) {
 	for k, want := range map[Kind]string{
 		KindWakeup: "wakeup", KindReset: "reset", KindJoin: "join",
 		KindLeave: "leave", KindPowerOn: "power-on", KindPowerOff: "power-off",
+		KindCreate: "create", KindTrim: "trim", KindDestroy: "destroy",
+		KindGC: "gc", KindRefreshRetry: "refresh-retry", KindRefreshOK: "refresh-ok",
 	} {
 		if k.String() != want {
 			t.Errorf("%d → %q", k, k.String())

@@ -88,6 +88,22 @@ const (
 	TraceLeave    = trace.KindLeave
 	TracePowerOn  = trace.KindPowerOn
 	TracePowerOff = trace.KindPowerOff
+	// Instance lifecycle and head-end refresh health.
+	TraceCreate       = trace.KindCreate
+	TraceTrim         = trace.KindTrim
+	TraceDestroy      = trace.KindDestroy
+	TraceGC           = trace.KindGC
+	TraceRefreshRetry = trace.KindRefreshRetry
+	TraceRefreshOK    = trace.KindRefreshOK
+)
+
+// Sentinel errors for instance lookups (match with errors.Is).
+var (
+	// ErrUnknownInstance reports an instance ID that was never issued.
+	ErrUnknownInstance = controller.ErrUnknownInstance
+	// ErrInstanceGone reports an instance that was destroyed and, after
+	// its reset retransmission window, garbage-collected.
+	ErrInstanceGone = controller.ErrInstanceGone
 )
 
 // Device classes for Requirements.
@@ -266,6 +282,13 @@ func (s *System) LiveBusy(id uint64) int {
 
 // STBs exposes the simulated devices (churn control, power, modes).
 func (s *System) STBs() []*STB { return s.sys.STBs }
+
+// ContentStats reports the head-end broadcast content assembled from
+// current Controller state: control-file bytes, carousel file count,
+// live instances, and destroyed instances whose reset is still on air.
+func (s *System) ContentStats() (controlFileBytes, carouselFiles, live, destroyedOnAir int) {
+	return s.sys.Controller.ContentStats()
+}
 
 // After schedules fn at now+d on the deployment's clock.
 func (s *System) After(d time.Duration, fn func()) { s.clk.AfterFunc(d, fn) }
