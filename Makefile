@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check fmt vet test race build
+.PHONY: check fmt vet test race build cover
 
 ## check: the full tier-1 gate — formatting, vet, build, tests with the
-## race detector (the lifecycle churn stress must pass under -race).
-check: fmt vet race
+## race detector (the lifecycle churn stress must pass under -race),
+## and the coverage floor on the telemetry packages.
+check: fmt vet race cover
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -23,3 +24,17 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+## cover: enforce a coverage floor on the observability layer — the
+## obs registry/exposition code and the trace recorder.
+COVER_FLOOR ?= 85
+cover:
+	@for pkg in ./internal/obs ./internal/trace; do \
+		pct="$$($(GO) test -cover $$pkg | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p')"; \
+		if [ -z "$$pct" ]; then echo "$$pkg: no coverage reported"; exit 1; fi; \
+		ok="$$(awk -v p="$$pct" -v f="$(COVER_FLOOR)" 'BEGIN { print (p >= f) ? 1 : 0 }')"; \
+		if [ "$$ok" != 1 ]; then \
+			echo "$$pkg: coverage $$pct% below floor $(COVER_FLOOR)%"; exit 1; \
+		fi; \
+		echo "$$pkg: coverage $$pct% (floor $(COVER_FLOOR)%)"; \
+	done

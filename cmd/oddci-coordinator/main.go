@@ -11,11 +11,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"time"
 
 	"oddci/internal/appimage"
 	"oddci/internal/core/backend"
+	"oddci/internal/obs"
 	"oddci/internal/transport"
 	"oddci/internal/workload"
 )
@@ -30,8 +32,14 @@ func main() {
 		prob       = flag.Float64("probability", 1, "wakeup probability gate")
 		heartbeat  = flag.Duration("heartbeat", 10*time.Second, "node heartbeat period")
 		jobTimeout = flag.Duration("timeout", 30*time.Minute, "give up after this long")
+		metrics    = flag.String("metrics", "", "serve /metrics, /varz and /healthz on this address (e.g. 127.0.0.1:9090); empty disables")
 	)
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *metrics != "" {
+		reg = obs.NewRegistry()
+	}
 
 	img := &appimage.Image{
 		Name:       "demo-worker",
@@ -45,9 +53,19 @@ func main() {
 		Image:           img,
 		Probability:     *prob,
 		HeartbeatPeriod: *heartbeat,
+		Obs:             reg,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if reg != nil {
+		srv := &http.Server{Addr: *metrics, Handler: obs.NewHandler(reg, nil)}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+		fmt.Printf("telemetry on http://%s/metrics (also /varz, /healthz)\n", *metrics)
 	}
 	job, err := (&workload.Generator{
 		Name: "demo", Tasks: *tasks, MeanSeconds: *taskSecs,

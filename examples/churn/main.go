@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"strings"
 	"time"
 
 	"oddci"
@@ -24,6 +25,7 @@ func main() {
 		HeartbeatPeriod:   20 * time.Second,
 		MaintenancePeriod: 30 * time.Second,
 		TraceCapacity:     4096,
+		Metrics:           true,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -95,5 +97,28 @@ func main() {
 	bytes, files, liveInst, onAir := sys.ContentStats()
 	fmt.Printf("\nhead-end after teardown: control file %d B, %d carousel files, %d live, %d resets on air\n",
 		bytes, files, liveInst, onAir)
+
+	fmt.Printf("\nfinal telemetry snapshot:\n")
+	for _, name := range []string{
+		"oddci_controller_heartbeats_total",
+		"oddci_controller_wakeups_total",
+		"oddci_controller_nodes_expired_total",
+		"oddci_controller_instances_gced_total",
+		"oddci_pna_joins_total",
+		"oddci_pna_resets_total",
+		"oddci_dsmcc_broadcast_bytes",
+	} {
+		if v, ok := sys.Metric(name); ok {
+			fmt.Printf("  %-42s %12.0f\n", name, v)
+		}
+	}
+
+	var jsonl strings.Builder
+	if err := sys.WriteTimelineJSONL(&jsonl); err != nil {
+		log.Fatal(err)
+	}
+	lines := strings.Count(jsonl.String(), "\n")
+	fmt.Printf("\ntimeline export: %d JSONL events, e.g.\n  %s\n",
+		lines, strings.SplitN(jsonl.String(), "\n", 2)[0])
 	fmt.Printf("instance held near %d nodes despite continuous power cycling, then drained to nothing\n", target)
 }

@@ -28,6 +28,7 @@ import (
 	"oddci/internal/dsmcc"
 	"oddci/internal/middleware"
 	"oddci/internal/netsim"
+	"oddci/internal/obs"
 	"oddci/internal/simtime"
 )
 
@@ -94,6 +95,17 @@ type Config struct {
 	// head-end refresh retries. Like OnWakeup it runs with Controller
 	// locks held and must not call back into the Controller.
 	OnLifecycle func(ev LifecycleEvent)
+	// Obs, if set, receives live telemetry (oddci_controller_* metrics)
+	// and the carousel-refresh / heartbeat-silence health checks. Hot
+	// paths touch only pre-created handles via atomics.
+	Obs *obs.Registry
+	// RefreshStuckAfter is the consecutive failed-refresh count at which
+	// the carousel-refresh health check reports unhealthy (default 3).
+	RefreshStuckAfter int
+	// HeartbeatSilence is the no-heartbeats-at-all window after which
+	// the heartbeat-silence health check reports unhealthy while nodes
+	// are tracked (default 3×MaxHeartbeatPeriod).
+	HeartbeatSilence time.Duration
 	// Rng seeds sequence jitter; required.
 	Rng *rand.Rand
 }
@@ -140,6 +152,12 @@ func (c *Config) fill() error {
 		if c.RefreshRetryMax < c.RefreshRetryBase {
 			c.RefreshRetryMax = c.RefreshRetryBase
 		}
+	}
+	if c.RefreshStuckAfter <= 0 {
+		c.RefreshStuckAfter = 3
+	}
+	if c.HeartbeatSilence <= 0 {
+		c.HeartbeatSilence = 3 * c.MaxHeartbeatPeriod
 	}
 	return nil
 }
@@ -250,6 +268,14 @@ type instState struct {
 	// resetTicks counts the maintenance passes the reset envelope has
 	// left on air before the instance is garbage-collected.
 	resetTicks int
+	// Telemetry state: when the latest wakeup aired, whether a join has
+	// been observed since (wakeup→first-join latency), when the instance
+	// was created, and whether it has reached its target size yet
+	// (time-to-converge).
+	wakeupAt        time.Time
+	joinSinceWakeup bool
+	createdAt       time.Time
+	converged       bool
 }
 
 type nodeInfo struct {
@@ -303,6 +329,109 @@ type Controller struct {
 
 	// heartbeatsSeen counts processed heartbeats (load accounting).
 	heartbeatsSeen atomic.Int64
+	// lastHeartbeat is the unix-nano arrival time of the most recent
+	// heartbeat (heartbeat-silence health check).
+	lastHeartbeat atomic.Int64
+
+	met ctrlMetrics
+}
+
+// ctrlMetrics bundles the Controller's pre-created telemetry handles.
+// All handles are nil (no-op) when Config.Obs is unset, so the hot path
+// pays at most a nil check per metric.
+type ctrlMetrics struct {
+	heartbeats    *obs.Counter
+	wakeups       *obs.Counter
+	resetsSent    *obs.Counter
+	trims         *obs.Counter
+	created       *obs.Counter
+	destroyed     *obs.Counter
+	gced          *obs.Counter
+	refreshRetry  *obs.Counter
+	refreshOK     *obs.Counter
+	nodesExpired  *obs.Counter
+	hbPeriod      *obs.Gauge // back-pressure period handed to idle nodes
+	wakeupToJoin  *obs.Histogram
+	convergeTime  *obs.Histogram
+	refreshDelay  *obs.Gauge // current backoff delay armed (seconds)
+	maintainTicks *obs.Counter
+}
+
+// instrument creates metric handles and registers the gauge functions
+// and health checks against reg (a nil reg leaves every handle no-op).
+func (c *Controller) instrument(reg *obs.Registry) {
+	c.met = ctrlMetrics{
+		heartbeats:    reg.Counter("oddci_controller_heartbeats_total", "Heartbeats consolidated"),
+		wakeups:       reg.Counter("oddci_controller_wakeups_total", "Wakeup broadcasts sent (initial + recompositions)"),
+		resetsSent:    reg.Counter("oddci_controller_resets_total", "Reset commands issued in heartbeat replies"),
+		trims:         reg.Counter("oddci_controller_trims_total", "Excess members trimmed"),
+		created:       reg.Counter("oddci_controller_instances_created_total", "Instances provisioned"),
+		destroyed:     reg.Counter("oddci_controller_instances_destroyed_total", "Instances dismantled"),
+		gced:          reg.Counter("oddci_controller_instances_gced_total", "Destroyed instances garbage-collected from the head-end"),
+		refreshRetry:  reg.Counter("oddci_controller_refresh_retries_total", "Failed carousel updates awaiting backoff retry"),
+		refreshOK:     reg.Counter("oddci_controller_refresh_recoveries_total", "Carousel updates recovered after retries"),
+		nodesExpired:  reg.Counter("oddci_controller_nodes_expired_total", "Silent nodes expired by the maintenance loop"),
+		hbPeriod:      reg.Gauge("oddci_controller_heartbeat_period_seconds", "Back-pressure reporting period handed to idle nodes"),
+		wakeupToJoin:  reg.Histogram("oddci_controller_wakeup_to_join_seconds", "Latency from a wakeup broadcast to the first member join", nil),
+		convergeTime:  reg.Histogram("oddci_controller_converge_seconds", "Time from instance creation to first reaching target size", nil),
+		refreshDelay:  reg.Gauge("oddci_controller_refresh_backoff_seconds", "Backoff delay armed for the next refresh retry"),
+		maintainTicks: reg.Counter("oddci_controller_maintenance_passes_total", "Maintenance loop passes"),
+	}
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("oddci_controller_nodes", "Nodes tracked from heartbeat state", func() float64 {
+		return float64(c.nodeCount.Load())
+	})
+	reg.GaugeFunc("oddci_controller_nodes_idle", "Idle subset of tracked nodes", func() float64 {
+		return float64(c.idleCount.Load())
+	})
+	reg.GaugeFunc("oddci_controller_instances_live", "Live (non-destroyed) instances", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		n := 0
+		for _, st := range c.instances {
+			if !st.destroyed {
+				n++
+			}
+		}
+		return float64(n)
+	})
+	reg.GaugeFunc("oddci_controller_size_deficit", "Sum over live instances of target minus members", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		deficit := 0
+		for _, st := range c.instances {
+			if st.destroyed {
+				continue
+			}
+			if d := st.spec.Target - len(st.members); d > 0 {
+				deficit += d
+			}
+		}
+		return float64(deficit)
+	})
+	reg.GaugeFunc("oddci_controller_refresh_attempts", "Consecutive failed carousel refresh attempts", func() float64 {
+		_, attempts := c.RefreshPending()
+		return float64(attempts)
+	})
+	reg.RegisterHealth("carousel-refresh", func() error {
+		pending, attempts := c.RefreshPending()
+		if pending && attempts >= c.cfg.RefreshStuckAfter {
+			return fmt.Errorf("refresh stuck in backoff after %d failed attempts", attempts)
+		}
+		return nil
+	})
+	reg.RegisterHealth("heartbeat-silence", func() error {
+		last := c.lastHeartbeat.Load()
+		if last == 0 || c.nodeCount.Load() == 0 {
+			return nil // nothing tracked yet: silence is expected
+		}
+		if silent := c.cfg.Clock.Now().Sub(time.Unix(0, last)); silent > c.cfg.HeartbeatSilence {
+			return fmt.Errorf("no heartbeat for %s from %d tracked nodes", silent, c.nodeCount.Load())
+		}
+		return nil
+	})
 }
 
 // HeartbeatsSeen reports how many heartbeats the Controller has
@@ -326,6 +455,7 @@ func New(cfg Config) (*Controller, error) {
 	for i := range c.shards {
 		c.shards[i].nodes = make(map[uint64]*nodeInfo)
 	}
+	c.instrument(cfg.Obs)
 	return c, nil
 }
 
@@ -471,10 +601,12 @@ func (c *Controller) requestRefreshLocked() {
 // pending retry.
 func (c *Controller) refreshDoneLocked() {
 	if c.refreshPending {
+		c.met.refreshOK.Inc()
 		c.emitLocked(LifecycleEvent{Kind: LifecycleRefreshRecovered, Attempt: c.refreshAttempts})
 	}
 	c.refreshPending = false
 	c.refreshAttempts = 0
+	c.met.refreshDelay.Set(0)
 	if c.refreshTimer != nil {
 		c.refreshTimer.Stop()
 		c.refreshTimer = nil
@@ -486,6 +618,7 @@ func (c *Controller) refreshDoneLocked() {
 func (c *Controller) refreshFailedLocked() {
 	c.refreshPending = true
 	c.refreshAttempts++
+	c.met.refreshRetry.Inc()
 	c.emitLocked(LifecycleEvent{Kind: LifecycleRefreshRetry, Attempt: c.refreshAttempts})
 	if c.stopped || c.refreshTimer != nil {
 		return
@@ -497,6 +630,7 @@ func (c *Controller) refreshFailedLocked() {
 	if delay > c.cfg.RefreshRetryMax {
 		delay = c.cfg.RefreshRetryMax
 	}
+	c.met.refreshDelay.Set(delay.Seconds())
 	c.refreshTimer = c.cfg.Clock.AfterFunc(delay, c.retryRefresh)
 }
 
@@ -639,6 +773,7 @@ func (c *Controller) CreateInstance(spec InstanceSpec) (instance.ID, error) {
 	if !c.started {
 		return 0, errors.New("controller: not started")
 	}
+	now := c.cfg.Clock.Now()
 	id := c.nextID
 	c.nextID++
 	st := &instState{
@@ -647,10 +782,12 @@ func (c *Controller) CreateInstance(spec InstanceSpec) (instance.ID, error) {
 		imageFile:   fmt.Sprintf("image.%d", id),
 		imageDigest: digest,
 		members:     make(map[uint64]time.Time),
+		wakeupAt:    now,
+		createdAt:   now,
 	}
 	prob := spec.InitialProbability
 	if prob == 0 {
-		prob = c.probabilityFor(spec.Target, c.idleEligibleLocked(spec.Requirements, c.cfg.Clock.Now()))
+		prob = c.probabilityFor(spec.Target, c.idleEligibleLocked(spec.Requirements, now))
 	}
 	st.seq = 1
 	st.wakeups = 1
@@ -675,6 +812,8 @@ func (c *Controller) CreateInstance(spec InstanceSpec) (instance.ID, error) {
 		return 0, fmt.Errorf("controller: stage instance %d: %w", id, err)
 	}
 	c.refreshDoneLocked()
+	c.met.created.Inc()
+	c.met.wakeups.Inc()
 	c.emitLocked(LifecycleEvent{Kind: LifecycleCreated, Instance: id, Seq: st.seq})
 	if c.cfg.OnWakeup != nil {
 		c.cfg.OnWakeup(id, st.seq, prob)
@@ -729,6 +868,7 @@ func (c *Controller) DestroyInstance(id instance.ID) error {
 	st.resets++
 	st.trimPending = 0
 	st.members = nil // the frozen membership view is stale from here on
+	c.met.destroyed.Inc()
 	c.emitLocked(LifecycleEvent{Kind: LifecycleDestroyed, Instance: id, Seq: st.seq})
 	c.requestRefreshLocked()
 	return nil
@@ -792,6 +932,7 @@ func (c *Controller) Population() (idle, busy int) {
 // had its chance to observe the reset.
 func (c *Controller) maintain() {
 	c.mu.Lock()
+	c.met.maintainTicks.Inc()
 	now := c.cfg.Clock.Now()
 	// Expire silent nodes shard by shard.
 	for i := range c.shards {
@@ -807,6 +948,7 @@ func (c *Controller) maintain() {
 				}
 				delete(sh.nodes, id)
 				c.nodeCount.Add(-1)
+				c.met.nodesExpired.Inc()
 			}
 		}
 		sh.mu.Unlock()
@@ -830,6 +972,10 @@ func (c *Controller) maintain() {
 			}
 		}
 		deficit := st.spec.Target - len(st.members)
+		if deficit <= 0 && !st.converged {
+			st.converged = true
+			c.met.convergeTime.ObserveDuration(now.Sub(st.createdAt))
+		}
 		if deficit < 0 {
 			// Probabilistic sizing overshot: trim the excess through
 			// heartbeat replies.
@@ -844,7 +990,10 @@ func (c *Controller) maintain() {
 				w.Seq = st.seq
 				w.Probability = c.probabilityFor(deficit, pop)
 				st.lastWakeup = &w
+				st.wakeupAt = now
+				st.joinSinceWakeup = false
 				refresh = true
+				c.met.wakeups.Inc()
 				c.emitLocked(LifecycleEvent{Kind: LifecycleRecomposed, Instance: st.id, Seq: st.seq})
 				if c.cfg.OnWakeup != nil {
 					c.cfg.OnWakeup(st.id, st.seq, w.Probability)
@@ -871,6 +1020,7 @@ func (c *Controller) maintain() {
 			}
 		}
 		refresh = true
+		c.met.gced.Inc()
 		c.emitLocked(LifecycleEvent{Kind: LifecycleGCed, Instance: id})
 	}
 	if refresh || c.refreshPending {
@@ -907,7 +1057,15 @@ func (c *Controller) ServeNode(ep *netsim.Endpoint) {
 // while acquiring c.mu.
 func (c *Controller) HandleHeartbeat(hb *control.Heartbeat) *control.HeartbeatReply {
 	c.heartbeatsSeen.Add(1)
+	c.met.heartbeats.Inc()
 	now := c.cfg.Clock.Now()
+	// Track the last-heartbeat time at one-second granularity: the
+	// silence health check tolerates minutes, and the atomic load keeps
+	// the common case a read-shared cache line instead of a contended
+	// store per heartbeat.
+	if nano := now.UnixNano(); nano-c.lastHeartbeat.Load() > int64(time.Second) {
+		c.lastHeartbeat.Store(nano)
+	}
 	sh := c.shard(hb.NodeID)
 
 	sh.mu.Lock()
@@ -950,6 +1108,7 @@ func (c *Controller) HandleHeartbeat(hb *control.Heartbeat) *control.HeartbeatRe
 		if cur <= 0 || relDiff(cur, desired) > 0.2 {
 			reply.Period = desired
 			ni.hbPeriod = desired
+			c.met.hbPeriod.Set(desired.Seconds())
 		}
 	}
 	sh.mu.Unlock()
@@ -973,6 +1132,7 @@ func (c *Controller) HandleHeartbeat(hb *control.Heartbeat) *control.HeartbeatRe
 		case !ok || st.destroyed:
 			// Stray member of a dismantled instance: reset it.
 			reply.Command = control.CmdReset
+			c.met.resetsSent.Inc()
 			if ok {
 				st.resets++
 			}
@@ -982,8 +1142,14 @@ func (c *Controller) HandleHeartbeat(hb *control.Heartbeat) *control.HeartbeatRe
 			delete(st.members, hb.NodeID)
 			trimmed = true
 			reply.Command = control.CmdReset
+			c.met.resetsSent.Inc()
+			c.met.trims.Inc()
 			c.emitLocked(LifecycleEvent{Kind: LifecycleTrimmed, Instance: st.id, Node: hb.NodeID, Seq: st.seq})
 		default:
+			if _, member := st.members[hb.NodeID]; !member && !st.joinSinceWakeup {
+				st.joinSinceWakeup = true
+				c.met.wakeupToJoin.ObserveDuration(now.Sub(st.wakeupAt))
+			}
 			st.members[hb.NodeID] = now
 		}
 		if ok && st.spec.HeartbeatPeriod > 0 {

@@ -21,6 +21,7 @@ import (
 	"oddci/internal/appimage"
 	"oddci/internal/core/instance"
 	"oddci/internal/netsim"
+	"oddci/internal/obs"
 	"oddci/internal/simtime"
 )
 
@@ -95,12 +96,15 @@ func (e *Env) Destroyed() bool { return e.interrupt.Cancelled() }
 
 // DVE is the handle the PNA keeps for the running environment.
 type DVE struct {
-	env    *Env
-	hangup func()
+	env       *Env
+	hangup    func()
+	destroyed *obs.Counter
 
-	mu     sync.Mutex
-	done   bool
-	err    error
+	mu   sync.Mutex
+	done bool
+	err  error
+	// torn guards the destroyed counter against double Destroy calls.
+	torn   bool
 	onExit func(err error)
 }
 
@@ -122,6 +126,9 @@ type Config struct {
 	OnExit func(err error)
 	// OnTask, if set, observes each completed task.
 	OnTask func()
+	// Obs, if set, counts DVE launches, destructions, and app errors
+	// (oddci_dve_* metrics).
+	Obs *obs.Registry
 }
 
 // Launch resolves the image's entry point and starts the application.
@@ -142,9 +149,19 @@ func Launch(cfg Config) (*DVE, error) {
 		TaskDuration: cfg.TaskDuration,
 		noteTask:     cfg.OnTask,
 	}
-	d := &DVE{env: env, hangup: cfg.Hangup, onExit: cfg.OnExit}
+	d := &DVE{
+		env:       env,
+		hangup:    cfg.Hangup,
+		onExit:    cfg.OnExit,
+		destroyed: cfg.Obs.Counter("oddci_dve_destroyed_total", "DVEs torn down"),
+	}
+	cfg.Obs.Counter("oddci_dve_launched_total", "DVEs launched").Inc()
+	appErrors := cfg.Obs.Counter("oddci_dve_app_errors_total", "Applications that exited with an error")
 	cfg.Clock.Go(func() {
 		err := fn(env)
+		if err != nil {
+			appErrors.Inc()
+		}
 		d.mu.Lock()
 		d.done = true
 		d.err = err
@@ -161,6 +178,13 @@ func Launch(cfg Config) (*DVE, error) {
 // operations (Execute, Sleep, Backend receives) return immediately and
 // the direct channel is released.
 func (d *DVE) Destroy() {
+	d.mu.Lock()
+	first := !d.torn
+	d.torn = true
+	d.mu.Unlock()
+	if first {
+		d.destroyed.Inc()
+	}
 	d.env.interrupt.Cancel()
 	if d.env.Backend != nil {
 		d.env.Backend.Close()

@@ -29,6 +29,7 @@ import (
 	"oddci/internal/core/dve"
 	"oddci/internal/core/instance"
 	"oddci/internal/netsim"
+	"oddci/internal/obs"
 	"oddci/internal/simtime"
 	"oddci/internal/xlet"
 )
@@ -63,6 +64,10 @@ type Config struct {
 	ConfigFile string
 	// OnStateChange observes idle/busy transitions (experiment hooks).
 	OnStateChange func(nodeID uint64, st control.NodeState, inst instance.ID)
+	// Obs, if set, receives fleet-wide agent telemetry (oddci_pna_*
+	// metrics: join/drop/rejection counters, image-load and DVE-start
+	// latency histograms). Agents from one factory share the handles.
+	Obs *obs.Registry
 }
 
 func (c *Config) fill() error {
@@ -98,6 +103,7 @@ func NewFactory(cfg Config) (xlet.Factory, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
+	met := newPNAMetrics(cfg.Obs)
 	var mu sync.Mutex
 	seeds := cfg.Rng
 	return func() xlet.Xlet {
@@ -106,14 +112,39 @@ func NewFactory(cfg Config) (xlet.Factory, error) {
 		mu.Unlock()
 		c := cfg
 		c.Rng = rand.New(rand.NewSource(seed))
-		return &PNA{cfg: c}
+		return &PNA{cfg: c, met: met}
 	}, nil
+}
+
+// pnaMetrics bundles the fleet-wide agent telemetry handles (all nil
+// and no-op when Config.Obs is unset).
+type pnaMetrics struct {
+	joins      *obs.Counter
+	drops      *obs.Counter
+	rejections *obs.Counter
+	resets     *obs.Counter
+	aborts     *obs.Counter
+	imageLoad  *obs.Histogram
+	dveStart   *obs.Histogram
+}
+
+func newPNAMetrics(reg *obs.Registry) pnaMetrics {
+	return pnaMetrics{
+		joins:      reg.Counter("oddci_pna_joins_total", "Wakeups committed (agent went busy)"),
+		drops:      reg.Counter("oddci_pna_wakeups_dropped_total", "Wakeups discarded by the probability gate"),
+		rejections: reg.Counter("oddci_pna_rejections_total", "Signature or digest verification failures"),
+		resets:     reg.Counter("oddci_pna_resets_total", "Instances reset (broadcast, reply command, or lifetime)"),
+		aborts:     reg.Counter("oddci_pna_join_aborts_total", "Joins abandoned before the DVE launched"),
+		imageLoad:  reg.Histogram("oddci_pna_image_load_seconds", "Carousel image fetch latency", nil),
+		dveStart:   reg.Histogram("oddci_pna_dve_start_seconds", "Wakeup commitment to DVE running", nil),
+	}
 }
 
 // PNA is one agent instance. Its lifetime is one middleware launch; a
 // power cycle produces a fresh instance.
 type PNA struct {
 	cfg Config
+	met pnaMetrics
 	ctx xlet.Context
 
 	mu             sync.Mutex
@@ -131,6 +162,7 @@ type PNA struct {
 	tasksDone      uint32
 	destroyed      bool
 	started        bool
+	joinStartedAt  time.Time // wakeup commitment time (DVE-start latency)
 
 	// Drops counts wakeups discarded by the probability gate;
 	// Rejections counts signature/digest failures. Experiment hooks.
@@ -253,6 +285,7 @@ func (p *PNA) checkConfig() {
 			p.mu.Lock()
 			p.Rejections++
 			p.mu.Unlock()
+			p.met.rejections.Inc()
 			return
 		}
 		for _, msg := range msgs {
@@ -292,6 +325,7 @@ func (p *PNA) handleWakeup(w *control.Wakeup) {
 	if draw >= w.Probability {
 		p.Drops++
 		p.mu.Unlock()
+		p.met.drops.Inc()
 		return
 	}
 	// Committed: become busy immediately so concurrent wakeups are
@@ -302,8 +336,12 @@ func (p *PNA) handleWakeup(w *control.Wakeup) {
 		p.hbPeriod = w.HeartbeatPeriod
 	}
 	ctx := p.ctx
+	clk := ctx.Clock()
+	start := clk.Now()
+	p.joinStartedAt = start
 	hook := p.cfg.OnStateChange
 	p.mu.Unlock()
+	p.met.joins.Inc()
 	if hook != nil {
 		hook(p.cfg.NodeID, control.StateBusy, w.InstanceID)
 	}
@@ -313,11 +351,13 @@ func (p *PNA) handleWakeup(w *control.Wakeup) {
 			p.abortJoin(w.InstanceID, fmt.Errorf("image fetch: %w", err))
 			return
 		}
+		p.met.imageLoad.ObserveDuration(clk.Now().Sub(start))
 		img, err := appimage.Verify(data, w.ImageDigest)
 		if err != nil {
 			p.mu.Lock()
 			p.Rejections++
 			p.mu.Unlock()
+			p.met.rejections.Inc()
 			p.abortJoin(w.InstanceID, err)
 			return
 		}
@@ -336,6 +376,7 @@ func (p *PNA) abortJoin(id instance.ID, _ error) {
 	p.instID = 0
 	hook := p.cfg.OnStateChange
 	p.mu.Unlock()
+	p.met.aborts.Inc()
 	if hook != nil {
 		hook(p.cfg.NodeID, control.StateIdle, 0)
 	}
@@ -365,6 +406,7 @@ func (p *PNA) launchDVE(w *control.Wakeup, img *appimage.Image) {
 		Backend:      backend,
 		Hangup:       hangup,
 		TaskDuration: p.cfg.TaskDuration,
+		Obs:          p.cfg.Obs,
 		OnTask: func() {
 			p.mu.Lock()
 			p.tasksDone++
@@ -379,6 +421,7 @@ func (p *PNA) launchDVE(w *control.Wakeup, img *appimage.Image) {
 		p.mu.Lock()
 		p.Rejections++
 		p.mu.Unlock()
+		p.met.rejections.Inc()
 		p.abortJoin(w.InstanceID, err)
 		return
 	}
@@ -389,6 +432,7 @@ func (p *PNA) launchDVE(w *control.Wakeup, img *appimage.Image) {
 		return
 	}
 	p.d = d
+	p.met.dveStart.ObserveDuration(clk.Now().Sub(p.joinStartedAt))
 	if w.Lifetime > 0 {
 		id := w.InstanceID
 		p.lifetimeTimer = clk.AfterFunc(w.Lifetime, func() { p.resetInstance(id) })
@@ -421,6 +465,7 @@ func (p *PNA) resetInstance(id instance.ID) {
 	p.instID = 0
 	hook := p.cfg.OnStateChange
 	p.mu.Unlock()
+	p.met.resets.Inc()
 	if lt != nil {
 		lt.Stop()
 	}

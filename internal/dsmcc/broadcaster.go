@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"oddci/internal/obs"
 	"oddci/internal/simtime"
 )
 
@@ -30,6 +31,39 @@ type Broadcaster struct {
 	commitTimer  simtime.Timer
 	genListeners map[int]func(gen uint32, at time.Time)
 	nextListener int
+	// airedWire accumulates the wire bytes broadcast by generations that
+	// have already been replaced; the live generation's contribution is
+	// its stream position (telemetry).
+	airedWire int64
+	commits   *obs.Counter
+	delivered *obs.Counter
+}
+
+// Instrument registers broadcast telemetry against reg: cumulative
+// wire bytes aired, carousel cycle time, generation number, and commit
+// / file-delivery counters.
+func (b *Broadcaster) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	b.mu.Lock()
+	b.commits = reg.Counter("oddci_dsmcc_updates_committed_total", "Carousel content updates committed at cycle boundaries")
+	b.delivered = reg.Counter("oddci_dsmcc_file_deliveries_total", "Receiver file deliveries completed")
+	b.mu.Unlock()
+	reg.GaugeFunc("oddci_dsmcc_broadcast_bytes", "Cumulative wire bytes aired by the carousel", func() float64 {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if !b.started {
+			return 0
+		}
+		return float64(b.airedWire + b.positionLocked(b.clk.Now()))
+	})
+	reg.GaugeFunc("oddci_dsmcc_cycle_seconds", "Air time of one full carousel cycle", func() float64 {
+		return b.CycleDuration().Seconds()
+	})
+	reg.GaugeFunc("oddci_dsmcc_generation", "Carousel generation on air", func() float64 {
+		return float64(b.Generation())
+	})
 }
 
 // NewBroadcaster wraps car for transmission at rateBps.
@@ -135,6 +169,7 @@ func (b *Broadcaster) commit() {
 		b.mu.Unlock()
 		panic(fmt.Sprintf("dsmcc: committing validated update failed: %v", err))
 	}
+	b.airedWire += b.positionLocked(b.clk.Now())
 	l, err := b.car.Layout()
 	if err != nil {
 		b.mu.Unlock()
@@ -142,6 +177,7 @@ func (b *Broadcaster) commit() {
 	}
 	b.layout = l
 	b.origin = b.clk.Now()
+	b.commits.Inc()
 	gen := l.Generation
 	at := b.origin
 	listeners := make([]func(uint32, time.Time), 0, len(b.genListeners))
@@ -228,7 +264,9 @@ func (b *Broadcaster) scheduleDeliveryLocked(name string, strategy ReceiverStrat
 				break
 			}
 		}
+		delivered := b.delivered
 		b.mu.Unlock()
+		delivered.Inc()
 		fn(data, b.clk.Now(), nil)
 	})
 }

@@ -9,6 +9,7 @@ import (
 	"oddci/internal/core/provider"
 	"oddci/internal/metrics"
 	"oddci/internal/netsim"
+	"oddci/internal/obs"
 	"oddci/internal/simtime"
 	"oddci/internal/system"
 	"oddci/internal/trace"
@@ -38,10 +39,14 @@ func runLifecycle(cfg Config) (*Result, error) {
 	tbl := metrics.NewTable(
 		fmt.Sprintf("Lifecycle churn, %d create→destroy rounds over 12 power-cycling nodes", cyclesFor(cfg.Quick)),
 		"update fail prob", "rounds", "injected", "failed", "refresh retries", "GCs", "peak resets on air", "final files", "final ctl bytes")
+	telTbl := metrics.NewTable(
+		"Live telemetry snapshot at end of run (obs registry)",
+		"update fail prob", "heartbeats", "wakeups", "joins", "nodes expired", "resets sent", "wakeup→join p90 (s)", "broadcast MB")
 
 	for i, prob := range failProbs {
 		clk := simtime.NewSim(simEpoch)
 		rec := trace.NewRecorder(1 << 17)
+		reg := obs.NewRegistry()
 		plan := netsim.NewFaultPlan(rand.New(rand.NewSource(cfg.Seed+int64(i))), prob, 3)
 		sys, err := system.New(system.Config{
 			Clock:                clk,
@@ -50,6 +55,7 @@ func runLifecycle(cfg Config) (*Result, error) {
 			HeartbeatPeriod:      15 * time.Second,
 			MaintenancePeriod:    10 * time.Second,
 			Trace:                rec,
+			Obs:                  reg,
 			HeadEndFaults:        plan,
 			ResetRetransmitTicks: 3,
 			RefreshRetryBase:     2 * time.Second,
@@ -107,9 +113,23 @@ func runLifecycle(cfg Config) (*Result, error) {
 		tbl.AddRow(prob, rounds, injected, failed,
 			rec.Count(trace.KindRefreshRetry), rec.Count(trace.KindGC),
 			peakOnAir, finalFiles, finalBytes)
+
+		snap := reg.Snapshot()
+		mbAired := 0.0
+		if v, ok := reg.Value("oddci_dsmcc_broadcast_bytes"); ok {
+			mbAired = v / 1e6
+		}
+		telTbl.AddRow(prob,
+			snap.Counters["oddci_controller_heartbeats_total"],
+			snap.Counters["oddci_controller_wakeups_total"],
+			snap.Counters["oddci_pna_joins_total"],
+			snap.Counters["oddci_controller_nodes_expired_total"],
+			snap.Counters["oddci_controller_resets_total"],
+			snap.Histograms["oddci_controller_wakeup_to_join_seconds"].P90,
+			mbAired)
 	}
 	return &Result{
-		Tables: []*metrics.Table{tbl},
+		Tables: []*metrics.Table{tbl, telTbl},
 		Notes: []string{
 			"destroyed instances keep their reset on air for a bounded retransmission window, then are GC'd: final carousel always returns to 2 files (xlet + control file) and an empty control file",
 			"failed carousel updates never strand state — the refresh retries with exponential backoff and each maintenance pass re-attempts, so higher fail probabilities cost retries, not correctness",

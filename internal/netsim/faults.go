@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"oddci/internal/obs"
 )
 
 // FaultPlan is a seeded, concurrency-safe fault-injection schedule:
@@ -98,4 +100,20 @@ func (f *FaultPlan) Stats() (injected, failed int64) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.injected, f.failed
+}
+
+// Instrument exposes the plan's draw and injected-failure counts as
+// gauges named oddci_netsim_<label>_ops and oddci_netsim_<label>_faults.
+func (f *FaultPlan) Instrument(reg *obs.Registry, label string) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("oddci_netsim_"+label+"_ops", "Operations drawn against the "+label+" fault plan", func() float64 {
+		ops, _ := f.Stats()
+		return float64(ops)
+	})
+	reg.GaugeFunc("oddci_netsim_"+label+"_faults", "Failures injected by the "+label+" fault plan", func() float64 {
+		_, failed := f.Stats()
+		return float64(failed)
+	})
 }

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// TimelineSource is what /timeline needs from a trace recorder; the
+// trace package's Recorder satisfies it (Render), kept as an interface
+// so obs stays dependency-free.
+type TimelineSource interface {
+	Render(limit int) string
+}
+
+// NewHandler builds the coordinator's observability mux:
+//
+//	/metrics   Prometheus text exposition format
+//	/varz      expvar-style JSON snapshot
+//	/healthz   200 "ok" when every registered check passes, else 503
+//	           with one "name: error" line per failing check
+//	/timeline  recent trace events (?limit=N, default 100), if a
+//	           timeline source is wired (404 otherwise)
+func NewHandler(reg *Registry, timeline TimelineSource) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, reg.RenderPrometheus())
+	})
+	mux.HandleFunc("/varz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		fmt.Fprint(w, reg.RenderJSON())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		failures := reg.Health()
+		if len(failures) == 0 {
+			fmt.Fprintln(w, "ok")
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		names := make([]string, 0, len(failures))
+		for name := range failures {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(w, "%s: %v\n", name, failures[name])
+		}
+	})
+	mux.HandleFunc("/timeline", func(w http.ResponseWriter, req *http.Request) {
+		if timeline == nil {
+			http.NotFound(w, req)
+			return
+		}
+		limit := 100
+		if raw := req.URL.Query().Get("limit"); raw != "" {
+			n, err := strconv.Atoi(raw)
+			if err != nil {
+				http.Error(w, "bad limit", http.StatusBadRequest)
+				return
+			}
+			limit = n
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, timeline.Render(limit))
+	})
+	return mux
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+type fakeTimeline struct{}
+
+func (fakeTimeline) Render(limit int) string { return fmt.Sprintf("timeline limit=%d\n", limit) }
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func TestHandlerMetricsAndVarz(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("oddci_demo_total", "a demo counter").Add(2)
+	srv := httptest.NewServer(NewHandler(r, nil))
+	defer srv.Close()
+
+	code, body, hdr := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d, want 200", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("/metrics content type %q lacks exposition version", ct)
+	}
+	if !strings.Contains(body, "oddci_demo_total 2") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+
+	code, body, _ = get(t, srv, "/varz")
+	if code != http.StatusOK {
+		t.Fatalf("/varz = %d, want 200", code)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(body), &decoded); err != nil {
+		t.Fatalf("/varz not valid JSON: %v\n%s", err, body)
+	}
+}
+
+func TestHandlerHealthz(t *testing.T) {
+	r := NewRegistry()
+	healthy := true
+	r.RegisterHealth("toggle", func() error {
+		if healthy {
+			return nil
+		}
+		return errors.New("broken")
+	})
+	srv := httptest.NewServer(NewHandler(r, nil))
+	defer srv.Close()
+
+	code, body, _ := get(t, srv, "/healthz")
+	if code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q, want 200 ok", code, body)
+	}
+	healthy = false
+	code, body, _ = get(t, srv, "/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz = %d, want 503 when a check fails", code)
+	}
+	if !strings.Contains(body, "toggle: broken") {
+		t.Fatalf("/healthz body %q, want failing check line", body)
+	}
+}
+
+func TestHandlerTimeline(t *testing.T) {
+	r := NewRegistry()
+	srv := httptest.NewServer(NewHandler(r, nil))
+	code, _, _ := get(t, srv, "/timeline")
+	srv.Close()
+	if code != http.StatusNotFound {
+		t.Fatalf("/timeline without source = %d, want 404", code)
+	}
+
+	srv = httptest.NewServer(NewHandler(r, fakeTimeline{}))
+	defer srv.Close()
+	code, body, _ := get(t, srv, "/timeline")
+	if code != http.StatusOK || body != "timeline limit=100\n" {
+		t.Fatalf("/timeline = %d %q, want default limit 100", code, body)
+	}
+	code, body, _ = get(t, srv, "/timeline?limit=7")
+	if code != http.StatusOK || body != "timeline limit=7\n" {
+		t.Fatalf("/timeline?limit=7 = %d %q", code, body)
+	}
+	code, _, _ = get(t, srv, "/timeline?limit=x")
+	if code != http.StatusBadRequest {
+		t.Fatalf("/timeline?limit=x = %d, want 400", code)
+	}
+}

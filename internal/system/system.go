@@ -28,6 +28,7 @@ import (
 	"oddci/internal/flute"
 	"oddci/internal/middleware"
 	"oddci/internal/netsim"
+	"oddci/internal/obs"
 	"oddci/internal/simtime"
 	"oddci/internal/stb"
 	"oddci/internal/trace"
@@ -72,6 +73,10 @@ type Config struct {
 	// resets, power transitions, instance lifecycle, refresh health)
 	// into a timeline.
 	Trace *trace.Recorder
+	// Obs, if set, collects telemetry from every component
+	// (oddci_controller_*, oddci_backend_*, oddci_pna_*, oddci_dve_*,
+	// oddci_dsmcc_*, oddci_netsim_*).
+	Obs *obs.Registry
 	// HeadEndFaults, if set, injects failures into the Controller's
 	// carousel updates (not into the receivers), exercising the
 	// refresh-retry path. Start is never injected.
@@ -196,6 +201,7 @@ func New(cfg Config) (*System, error) {
 		if err != nil {
 			return nil, err
 		}
+		b.Instrument(cfg.Obs)
 		bcast = b
 	}
 	sig := middleware.NewSignalling(clk, cfg.AITPeriod)
@@ -205,6 +211,7 @@ func New(cfg Config) (*System, error) {
 	head := controller.HeadEnd(bcast)
 	if cfg.HeadEndFaults != nil {
 		head = &faultyHeadEnd{inner: bcast, plan: cfg.HeadEndFaults}
+		cfg.HeadEndFaults.Instrument(cfg.Obs, "headend")
 	}
 
 	var onLifecycle func(controller.LifecycleEvent)
@@ -246,6 +253,7 @@ func New(cfg Config) (*System, error) {
 		ResetRetransmitTicks: cfg.ResetRetransmitTicks,
 		RefreshRetryBase:     cfg.RefreshRetryBase,
 		RefreshRetryMax:      cfg.RefreshRetryMax,
+		Obs:                  cfg.Obs,
 		OnLifecycle:          onLifecycle,
 		OnWakeup: func(id instance.ID, seq uint32, probability float64) {
 			if cfg.Trace != nil {
@@ -260,7 +268,7 @@ func New(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	be, err := backend.New(backend.Config{Clock: clk, Replication: cfg.Replication})
+	be, err := backend.New(backend.Config{Clock: clk, Replication: cfg.Replication, Obs: cfg.Obs})
 	if err != nil {
 		return nil, err
 	}
@@ -334,6 +342,7 @@ func New(cfg Config) (*System, error) {
 			Rng:              rand.New(rand.NewSource(nodeRng.Int63())),
 			DefaultHeartbeat: cfg.HeartbeatPeriod,
 			OnStateChange:    s.noteState,
+			Obs:              cfg.Obs,
 		})
 		if err != nil {
 			return nil, err

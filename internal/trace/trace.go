@@ -5,7 +5,9 @@
 package trace
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"strings"
 	"sync"
 	"time"
@@ -80,7 +82,11 @@ type Recorder struct {
 	buf     []Event
 	start   int
 	count   int
-	Dropped int
+	dropped int
+	// tallies counts every event ever recorded per kind — unlike the
+	// ring it is not bounded, so Count stays O(1) and exact even after
+	// old events fall off the buffer.
+	tallies map[Kind]int
 }
 
 // NewRecorder creates a recorder holding up to max events (default 4096
@@ -89,7 +95,7 @@ func NewRecorder(max int) *Recorder {
 	if max <= 0 {
 		max = 4096
 	}
-	return &Recorder{buf: make([]Event, max)}
+	return &Recorder{buf: make([]Event, max), tallies: make(map[Kind]int)}
 }
 
 // Record appends one event.
@@ -99,10 +105,18 @@ func (r *Recorder) Record(ev Event) {
 	if r.count == len(r.buf) {
 		r.start = (r.start + 1) % len(r.buf)
 		r.count--
-		r.Dropped++
+		r.dropped++
 	}
 	r.buf[(r.start+r.count)%len(r.buf)] = ev
 	r.count++
+	r.tallies[ev.Kind]++
+}
+
+// Dropped reports how many events fell off the ring.
+func (r *Recorder) Dropped() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
 }
 
 // Events returns the timeline, oldest first.
@@ -116,23 +130,23 @@ func (r *Recorder) Events() []Event {
 	return out
 }
 
-// Count tallies events of one kind.
+// Count tallies events of one kind in O(1): it reports every event ever
+// recorded, including those that have since fallen off the ring.
 func (r *Recorder) Count(kind Kind) int {
-	n := 0
-	for _, ev := range r.Events() {
-		if ev.Kind == kind {
-			n++
-		}
-	}
-	return n
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tallies[kind]
 }
 
 // Render prints the timeline with offsets relative to the first event.
-// A zero limit renders everything.
+// A zero or negative limit renders everything.
 func (r *Recorder) Render(limit int) string {
 	evs := r.Events()
 	if len(evs) == 0 {
 		return "(empty timeline)\n"
+	}
+	if limit < 0 {
+		limit = 0
 	}
 	if limit > 0 && len(evs) > limit {
 		evs = evs[len(evs)-limit:]
@@ -153,4 +167,33 @@ func (r *Recorder) Render(limit int) string {
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// jsonEvent is the JSONL wire form of one event.
+type jsonEvent struct {
+	At       time.Time `json:"at"`
+	Kind     string    `json:"kind"`
+	Node     uint64    `json:"node,omitempty"`
+	Instance uint64    `json:"instance,omitempty"`
+	Detail   string    `json:"detail,omitempty"`
+}
+
+// WriteJSONL streams the timeline to w as JSON Lines, one event object
+// per line ({"at","kind","node","instance","detail"}), oldest first —
+// the machine-readable export experiments and demos dump for offline
+// analysis.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range r.Events() {
+		if err := enc.Encode(jsonEvent{
+			At:       ev.At,
+			Kind:     ev.Kind.String(),
+			Node:     ev.Node,
+			Instance: ev.Instance,
+			Detail:   ev.Detail,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 	"time"
@@ -43,8 +44,58 @@ func TestRecorderRingDropsOldest(t *testing.T) {
 	if evs[0].Node != 6 || evs[3].Node != 9 {
 		t.Fatalf("wrong window: %v", evs)
 	}
-	if r.Dropped != 6 {
-		t.Fatalf("dropped = %d", r.Dropped)
+	if r.Dropped() != 6 {
+		t.Fatalf("dropped = %d", r.Dropped())
+	}
+}
+
+func TestCountSurvivesRingDrops(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.Record(Event{At: epoch, Kind: KindJoin})
+	}
+	r.Record(Event{At: epoch, Kind: KindLeave})
+	if got := r.Count(KindJoin); got != 10 {
+		t.Fatalf("join count = %d, want 10 (tallies must outlive the ring)", got)
+	}
+	if got := r.Count(KindLeave); got != 1 {
+		t.Fatalf("leave count = %d", got)
+	}
+}
+
+func TestRenderNegativeLimit(t *testing.T) {
+	r := NewRecorder(8)
+	for i := 0; i < 5; i++ {
+		r.Record(Event{At: epoch, Kind: KindPowerOn, Node: uint64(i + 1)})
+	}
+	if got := strings.Count(r.Render(-3), "power-on"); got != 5 {
+		t.Fatalf("negative limit rendered %d events, want all 5", got)
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	r := NewRecorder(8)
+	r.Record(Event{At: epoch, Kind: KindWakeup, Instance: 3, Detail: "seq=1 p=0.50"})
+	r.Record(Event{At: epoch.Add(time.Second), Kind: KindJoin, Node: 7, Instance: 3})
+	var b strings.Builder
+	if err := r.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d:\n%s", len(lines), b.String())
+	}
+	for _, want := range []string{`"kind":"wakeup"`, `"instance":3`, `"detail":"seq=1 p=0.50"`} {
+		if !strings.Contains(lines[0], want) {
+			t.Fatalf("line 0 missing %s: %s", want, lines[0])
+		}
+	}
+	if !strings.Contains(lines[1], `"node":7`) || !strings.Contains(lines[1], `"kind":"join"`) {
+		t.Fatalf("line 1 wrong: %s", lines[1])
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &decoded); err != nil {
+		t.Fatalf("line 0 is not valid JSON: %v", err)
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"oddci/internal/control"
 	"oddci/internal/core/backend"
 	"oddci/internal/core/instance"
+	"oddci/internal/obs"
 	"oddci/internal/simtime"
 	"oddci/internal/workload"
 )
@@ -34,6 +35,14 @@ type CoordinatorConfig struct {
 	HeartbeatPeriod time.Duration
 	// Key signs control frames; generated if nil.
 	Key ed25519.PrivateKey
+	// Obs, if set, collects coordinator and backend telemetry
+	// (oddci_coordinator_*, oddci_backend_*) and registers the
+	// heartbeat-silence health check.
+	Obs *obs.Registry
+	// HeartbeatSilence is how long the coordinator tolerates hearing no
+	// heartbeat (while nodes are connected) before the heartbeat-silence
+	// health check fails (default 3× HeartbeatPeriod).
+	HeartbeatSilence time.Duration
 }
 
 // Coordinator is the listening process.
@@ -49,6 +58,10 @@ type Coordinator struct {
 	closed     bool
 	Heartbeats int64
 	NodesSeen  map[uint64]bool
+	lastBeat   time.Time
+
+	metHeartbeats *obs.Counter
+	metSessions   *obs.Counter
 
 	wg sync.WaitGroup
 }
@@ -90,10 +103,14 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.HeartbeatSilence <= 0 {
+		cfg.HeartbeatSilence = 3 * cfg.HeartbeatPeriod
+	}
 	be, err := backend.New(backend.Config{
 		Clock:      simtime.NewReal(),
 		RetryAfter: time.Second,
 		LeaseBase:  30 * time.Second,
+		Obs:        cfg.Obs,
 	})
 	if err != nil {
 		return nil, err
@@ -102,7 +119,7 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Coordinator{
+	c := &Coordinator{
 		cfg:       cfg,
 		ln:        ln,
 		pub:       cfg.Key.Public().(ed25519.PublicKey),
@@ -110,7 +127,37 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		control:   ctrlFile,
 		image:     ImageFile{Name: "image.1", Data: imgRaw},
 		NodesSeen: make(map[uint64]bool),
-	}, nil
+	}
+	c.instrument(cfg.Obs)
+	return c, nil
+}
+
+// instrument registers coordinator telemetry and the heartbeat-silence
+// health check.
+func (c *Coordinator) instrument(reg *obs.Registry) {
+	c.metHeartbeats = reg.Counter("oddci_coordinator_heartbeats_total", "Heartbeat frames received from nodes")
+	c.metSessions = reg.Counter("oddci_coordinator_sessions_total", "Node TCP sessions accepted")
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("oddci_coordinator_nodes_seen", "Distinct node IDs that have connected", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(len(c.NodesSeen))
+	})
+	reg.RegisterHealth("heartbeat-silence", func() error {
+		c.mu.Lock()
+		seen := len(c.NodesSeen)
+		last := c.lastBeat
+		c.mu.Unlock()
+		if seen == 0 || last.IsZero() {
+			return nil
+		}
+		if silent := time.Since(last); silent > c.cfg.HeartbeatSilence {
+			return fmt.Errorf("no heartbeat for %v (limit %v)", silent.Round(time.Millisecond), c.cfg.HeartbeatSilence)
+		}
+		return nil
+	})
 }
 
 // Addr returns the bound address.
@@ -203,6 +250,7 @@ func (c *Coordinator) session(conn net.Conn) {
 	c.mu.Lock()
 	c.NodesSeen[hello.NodeID] = true
 	c.mu.Unlock()
+	c.metSessions.Inc()
 
 	// The "broadcast": signed control file plus the image.
 	if err := send(FrameControl, c.control); err != nil {
@@ -224,7 +272,9 @@ func (c *Coordinator) session(conn net.Conn) {
 			}
 			c.mu.Lock()
 			c.Heartbeats++
+			c.lastBeat = time.Now()
 			c.mu.Unlock()
+			c.metHeartbeats.Inc()
 			reply := control.EncodeHeartbeatReply(&control.HeartbeatReply{Command: control.CmdNone})
 			if err := send(FrameHeartbeatReply, reply); err != nil {
 				return

@@ -24,6 +24,8 @@ package oddci
 
 import (
 	"errors"
+	"io"
+	"net/http"
 	"time"
 
 	"oddci/internal/analytic"
@@ -34,6 +36,7 @@ import (
 	"oddci/internal/core/instance"
 	"oddci/internal/core/provider"
 	"oddci/internal/dsmcc"
+	"oddci/internal/obs"
 	"oddci/internal/simtime"
 	"oddci/internal/stb"
 	"oddci/internal/system"
@@ -179,6 +182,11 @@ type Options struct {
 	// (wakeups, joins, resets, power transitions) into a ring of this
 	// many events, readable via Timeline and TraceEvents.
 	TraceCapacity int
+	// Metrics enables the telemetry registry: every component reports
+	// counters, gauges and latency histograms, readable via Metric,
+	// MetricsJSON, MetricsText, and servable over HTTP with
+	// MetricsHandler.
+	Metrics bool
 }
 
 // System is an assembled OddCI-DTV deployment.
@@ -187,6 +195,7 @@ type System struct {
 	clk    simtime.Clock
 	sim    *simtime.Sim // nil in real-time mode
 	tracer *trace.Recorder
+	obs    *obs.Registry
 }
 
 // New assembles and starts a deployment.
@@ -211,6 +220,10 @@ func New(opts Options) (*System, error) {
 	if opts.TraceCapacity > 0 {
 		tracer = trace.NewRecorder(opts.TraceCapacity)
 	}
+	var reg *obs.Registry
+	if opts.Metrics {
+		reg = obs.NewRegistry()
+	}
 	sys, err := system.New(system.Config{
 		Clock:             clk,
 		Nodes:             opts.Nodes,
@@ -224,6 +237,7 @@ func New(opts Options) (*System, error) {
 		Replication:       opts.Replication,
 		Transport:         transport,
 		Trace:             tracer,
+		Obs:               reg,
 	})
 	if err != nil {
 		return nil, err
@@ -231,7 +245,7 @@ func New(opts Options) (*System, error) {
 	if err := sys.Start(); err != nil {
 		return nil, err
 	}
-	return &System{sys: sys, clk: clk, sim: sim, tracer: tracer}, nil
+	return &System{sys: sys, clk: clk, sim: sim, tracer: tracer, obs: reg}, nil
 }
 
 // Timeline renders the recorded control-plane events (the last limit
@@ -249,6 +263,55 @@ func (s *System) TraceEvents() []TraceEvent {
 		return nil
 	}
 	return s.tracer.Events()
+}
+
+// WriteTimelineJSONL streams the recorded trace as one JSON object per
+// line, oldest first. Requires Options.TraceCapacity.
+func (s *System) WriteTimelineJSONL(w io.Writer) error {
+	if s.tracer == nil {
+		return errors.New("oddci: tracing disabled; set Options.TraceCapacity")
+	}
+	return s.tracer.WriteJSONL(w)
+}
+
+// Metric returns the current value of a named counter or gauge (and
+// whether it exists). Requires Options.Metrics.
+func (s *System) Metric(name string) (float64, bool) {
+	if s.obs == nil {
+		return 0, false
+	}
+	return s.obs.Value(name)
+}
+
+// MetricsJSON renders the full telemetry snapshot as expvar-style JSON.
+// Requires Options.Metrics.
+func (s *System) MetricsJSON() string {
+	if s.obs == nil {
+		return "{}\n"
+	}
+	return s.obs.RenderJSON()
+}
+
+// MetricsText renders the full telemetry snapshot in the Prometheus
+// text exposition format. Requires Options.Metrics.
+func (s *System) MetricsText() string {
+	if s.obs == nil {
+		return ""
+	}
+	return s.obs.RenderPrometheus()
+}
+
+// MetricsHandler serves /metrics, /varz, /healthz and /timeline for
+// this deployment, or nil when Options.Metrics is unset.
+func (s *System) MetricsHandler() http.Handler {
+	if s.obs == nil {
+		return nil
+	}
+	var timeline obs.TimelineSource
+	if s.tracer != nil {
+		timeline = s.tracer
+	}
+	return obs.NewHandler(s.obs, timeline)
 }
 
 // Now returns the deployment's current (virtual or wall) time.
