@@ -25,16 +25,18 @@ test:
 race:
 	$(GO) test -race ./...
 
-## cover: enforce a coverage floor on the observability layer — the
-## obs registry/exposition code and the trace recorder.
-COVER_FLOOR ?= 85
+## cover: enforce per-package coverage floors — the observability layer
+## (obs registry/exposition, trace recorder), the Controller (lifecycle
+## plus crash recovery), and the journal persistence layer.
+COVER_PKGS ?= ./internal/obs:85 ./internal/trace:85 ./internal/core/controller:85 ./internal/journal:78
 cover:
-	@for pkg in ./internal/obs ./internal/trace; do \
+	@for entry in $(COVER_PKGS); do \
+		pkg="$${entry%%:*}"; floor="$${entry##*:}"; \
 		pct="$$($(GO) test -cover $$pkg | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p')"; \
 		if [ -z "$$pct" ]; then echo "$$pkg: no coverage reported"; exit 1; fi; \
-		ok="$$(awk -v p="$$pct" -v f="$(COVER_FLOOR)" 'BEGIN { print (p >= f) ? 1 : 0 }')"; \
+		ok="$$(awk -v p="$$pct" -v f="$$floor" 'BEGIN { print (p >= f) ? 1 : 0 }')"; \
 		if [ "$$ok" != 1 ]; then \
-			echo "$$pkg: coverage $$pct% below floor $(COVER_FLOOR)%"; exit 1; \
+			echo "$$pkg: coverage $$pct% below floor $$floor%"; exit 1; \
 		fi; \
-		echo "$$pkg: coverage $$pct% (floor $(COVER_FLOOR)%)"; \
+		echo "$$pkg: coverage $$pct% (floor $$floor%)"; \
 	done

@@ -33,6 +33,7 @@ func main() {
 		heartbeat  = flag.Duration("heartbeat", 10*time.Second, "node heartbeat period")
 		jobTimeout = flag.Duration("timeout", 30*time.Minute, "give up after this long")
 		metrics    = flag.String("metrics", "", "serve /metrics, /varz and /healthz on this address (e.g. 127.0.0.1:9090); empty disables")
+		stateDir   = flag.String("state-dir", "", "persist controller state (signing key, wakeup journal) in this directory; a restarted coordinator keeps its identity and resumes past the recorded wakeup sequence")
 	)
 	flag.Parse()
 
@@ -54,9 +55,13 @@ func main() {
 		Probability:     *prob,
 		HeartbeatPeriod: *heartbeat,
 		Obs:             reg,
+		StateDir:        *stateDir,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if coord.Recovered() {
+		fmt.Printf("recovered state from %s: resuming at wakeup seq %d\n", *stateDir, coord.Seq())
 	}
 	if reg != nil {
 		srv := &http.Server{Addr: *metrics, Handler: obs.NewHandler(reg, nil)}

@@ -26,6 +26,7 @@ import (
 	"oddci/internal/control"
 	"oddci/internal/core/instance"
 	"oddci/internal/dsmcc"
+	"oddci/internal/journal"
 	"oddci/internal/middleware"
 	"oddci/internal/netsim"
 	"oddci/internal/obs"
@@ -108,6 +109,13 @@ type Config struct {
 	HeartbeatSilence time.Duration
 	// Rng seeds sequence jitter; required.
 	Rng *rand.Rand
+	// Journal, if set, makes the control plane durable: lifecycle
+	// mutations (create/resize/recompose/destroy/gc) are appended as
+	// they commit, and New replays the store's snapshot+journal so a
+	// restarted Controller re-enters the carousel at the recorded
+	// generation instead of re-staging every image. Live nodes are
+	// re-adopted from their next heartbeat — never re-woken.
+	Journal *journal.Store
 }
 
 func (c *Config) fill() error {
@@ -276,6 +284,10 @@ type instState struct {
 	joinSinceWakeup bool
 	createdAt       time.Time
 	converged       bool
+	// adoptUntil, set on recovered live instances, holds off maintenance
+	// recompositions until surviving members have had a chance to report
+	// in — re-adoption replaces re-waking after a restart.
+	adoptUntil time.Time
 }
 
 type nodeInfo struct {
@@ -304,6 +316,7 @@ type Controller struct {
 
 	mu         sync.Mutex
 	started    bool
+	recovered  bool // state was replayed from a journal store
 	aitVersion uint8
 	instances  map[instance.ID]*instState
 	order      []instance.ID
@@ -355,6 +368,7 @@ type ctrlMetrics struct {
 	convergeTime  *obs.Histogram
 	refreshDelay  *obs.Gauge // current backoff delay armed (seconds)
 	maintainTicks *obs.Counter
+	recoveredInst *obs.Counter
 }
 
 // instrument creates metric handles and registers the gauge functions
@@ -376,6 +390,7 @@ func (c *Controller) instrument(reg *obs.Registry) {
 		convergeTime:  reg.Histogram("oddci_controller_converge_seconds", "Time from instance creation to first reaching target size", nil),
 		refreshDelay:  reg.Gauge("oddci_controller_refresh_backoff_seconds", "Backoff delay armed for the next refresh retry"),
 		maintainTicks: reg.Counter("oddci_controller_maintenance_passes_total", "Maintenance loop passes"),
+		recoveredInst: reg.Counter("oddci_controller_instances_recovered_total", "Instances recovered from snapshot+journal at startup"),
 	}
 	if reg == nil {
 		return
@@ -442,7 +457,9 @@ func (c *Controller) shard(nodeID uint64) *nodeShard {
 	return &c.shards[nodeID%nodeShardCount]
 }
 
-// New builds a Controller.
+// New builds a Controller. With Config.Journal set, it replays the
+// store's snapshot+journal and comes up holding the pre-crash instance
+// table (Start then re-airs it in one head-end update).
 func New(cfg Config) (*Controller, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
@@ -456,11 +473,152 @@ func New(cfg Config) (*Controller, error) {
 		c.shards[i].nodes = make(map[uint64]*nodeInfo)
 	}
 	c.instrument(cfg.Obs)
+	if cfg.Journal != nil {
+		if err := c.recover(); err != nil {
+			return nil, err
+		}
+	}
 	return c, nil
 }
 
-// Start puts the PNA Xlet and an (empty) control file on air, signals
-// AUTOSTART, and begins the maintenance loop.
+// recover replays the journal store into the instance tables. Membership
+// is deliberately left empty: surviving members announce themselves on
+// their next heartbeat (re-adoption), and Start grants each live
+// instance an adoption grace window before maintenance may recompose.
+func (c *Controller) recover() error {
+	st, err := c.cfg.Journal.Load()
+	if err != nil {
+		return fmt.Errorf("controller: recover: %w", err)
+	}
+	if st.NextID > 1 {
+		c.nextID = instance.ID(st.NextID)
+	}
+	if st.Empty() {
+		return nil
+	}
+	c.recovered = true
+	for _, id := range st.Order {
+		rec := st.Instances[id]
+		img, err := appimage.Decode(rec.Image)
+		if err != nil {
+			return fmt.Errorf("controller: recover instance %d image: %w", id, err)
+		}
+		digest := appimage.DigestOf(rec.Image)
+		is := &instState{
+			id: instance.ID(rec.ID),
+			spec: InstanceSpec{
+				Image:           img,
+				Target:          int(rec.Target),
+				Requirements:    rec.Requirements,
+				HeartbeatPeriod: rec.HeartbeatPeriod,
+				Lifetime:        rec.Lifetime,
+			},
+			imageFile:   rec.ImageFile,
+			imageDigest: digest,
+			seq:         rec.Seq,
+			wakeups:     int(rec.Wakeups),
+			resets:      int(rec.Resets),
+			destroyed:   rec.Destroyed,
+			// Suppress wakeup→join telemetry for re-adopted members: the
+			// pre-crash wakeup time is gone, so any latency would be
+			// measured against the restart instead.
+			joinSinceWakeup: true,
+		}
+		if rec.Destroyed {
+			// Restart the full reset-retransmission window so every
+			// grace-windowed PNA gets another chance to observe the reset.
+			is.resetEnvOpen = true
+			is.resetTicks = c.cfg.ResetRetransmitTicks
+		} else {
+			is.members = make(map[uint64]time.Time)
+			is.lastWakeup = &control.Wakeup{
+				InstanceID:      is.id,
+				Seq:             rec.Seq,
+				Probability:     rec.Probability,
+				Requirements:    rec.Requirements,
+				ImageFile:       rec.ImageFile,
+				ImageDigest:     digest,
+				HeartbeatPeriod: rec.HeartbeatPeriod,
+				Lifetime:        rec.Lifetime,
+			}
+		}
+		c.instances[is.id] = is
+		c.order = append(c.order, is.id)
+		c.met.recoveredInst.Inc()
+	}
+	return nil
+}
+
+// Recovered reports whether New replayed durable state.
+func (c *Controller) Recovered() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.recovered
+}
+
+// adoptGraceLocked computes a recovered live instance's re-adoption
+// window: surviving members report at their instance period (or the PNA
+// default), so after HeartbeatGrace of those periods everyone alive has
+// had a chance to be counted.
+func (c *Controller) adoptGraceLocked(st *instState, now time.Time) time.Time {
+	period := st.spec.HeartbeatPeriod
+	if period <= 0 {
+		period = time.Minute // the PNA's default reporting period
+	}
+	return now.Add(time.Duration(c.cfg.HeartbeatGrace) * period)
+}
+
+// journalRecordLocked renders st as its full durable record (OpCreate
+// and compaction snapshots).
+func journalRecordLocked(st *instState) journal.InstanceRecord {
+	rec := journal.InstanceRecord{
+		ID:              uint64(st.id),
+		Seq:             st.seq,
+		Wakeups:         uint32(st.wakeups),
+		Resets:          uint32(st.resets),
+		Destroyed:       st.destroyed,
+		ResetTicks:      int32(st.resetTicks),
+		Target:          int32(st.spec.Target),
+		HeartbeatPeriod: st.spec.HeartbeatPeriod,
+		Lifetime:        st.spec.Lifetime,
+		Requirements:    st.spec.Requirements,
+		ImageFile:       st.imageFile,
+	}
+	if st.lastWakeup != nil {
+		rec.Probability = st.lastWakeup.Probability
+	}
+	rec.Image, _ = st.spec.Image.Encode() // validated at Create
+	return rec
+}
+
+// journalAppendLocked persists one lifecycle mutation. Append errors do
+// not fail the control plane — the store latches the error into Err and
+// the journal-stalled health check, and the operator decides.
+func (c *Controller) journalAppendLocked(r journal.Record) {
+	if c.cfg.Journal != nil {
+		_ = c.cfg.Journal.Append(r)
+	}
+}
+
+// durableStateLocked rebuilds the journal State image of the current
+// tables (compaction input).
+func (c *Controller) durableStateLocked() *journal.State {
+	st := journal.NewState()
+	st.NextID = uint64(c.nextID)
+	for _, is := range c.orderedLocked() {
+		rec := journalRecordLocked(is)
+		st.Instances[rec.ID] = &rec
+		st.Order = append(st.Order, rec.ID)
+	}
+	return st
+}
+
+// Start puts the PNA Xlet and the control file on air, signals
+// AUTOSTART, and begins the maintenance loop. On a recovered Controller
+// the initial contents already hold the replayed instances — one
+// head-end update re-airs everything — and a failed initial staging is
+// not fatal: it enters the refresh-retry backoff path, because the
+// durable state must come back up even when the head-end is flapping.
 func (c *Controller) Start() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -469,7 +627,18 @@ func (c *Controller) Start() error {
 	}
 	c.started = true
 	if err := c.cfg.Broadcaster.Start(c.carouselFilesLocked()); err != nil {
-		return fmt.Errorf("controller: start carousel: %w", err)
+		if !c.recovered {
+			return fmt.Errorf("controller: start carousel: %w", err)
+		}
+		c.refreshFailedLocked()
+	}
+	if c.recovered {
+		now := c.cfg.Clock.Now()
+		for _, st := range c.instances {
+			if !st.destroyed {
+				st.adoptUntil = c.adoptGraceLocked(st, now)
+			}
+		}
 	}
 	if err := c.publishAITLocked(); err != nil {
 		return err
@@ -812,6 +981,11 @@ func (c *Controller) CreateInstance(spec InstanceSpec) (instance.ID, error) {
 		return 0, fmt.Errorf("controller: stage instance %d: %w", id, err)
 	}
 	c.refreshDoneLocked()
+	// Journal after the head-end accepted the staging: a crash in the
+	// window between commit and append loses only this instance, which
+	// the PNAs' stray-member resets and the GC path reconcile; journaling
+	// first would resurrect rolled-back instances instead.
+	c.journalAppendLocked(journal.Record{Op: journal.OpCreate, Inst: journalRecordLocked(st)})
 	c.met.created.Inc()
 	c.met.wakeups.Inc()
 	c.emitLocked(LifecycleEvent{Kind: LifecycleCreated, Instance: id, Seq: st.seq})
@@ -842,6 +1016,10 @@ func (c *Controller) Resize(id instance.ID, target int) error {
 	} else {
 		st.trimPending = 0
 	}
+	c.journalAppendLocked(journal.Record{Op: journal.OpResize, Inst: journal.InstanceRecord{
+		ID:     uint64(id),
+		Target: int32(target),
+	}})
 	return nil
 }
 
@@ -868,6 +1046,12 @@ func (c *Controller) DestroyInstance(id instance.ID) error {
 	st.resets++
 	st.trimPending = 0
 	st.members = nil // the frozen membership view is stale from here on
+	c.journalAppendLocked(journal.Record{Op: journal.OpDestroy, Inst: journal.InstanceRecord{
+		ID:         uint64(id),
+		Seq:        st.seq,
+		Resets:     uint32(st.resets),
+		ResetTicks: int32(st.resetTicks),
+	}})
 	c.met.destroyed.Inc()
 	c.emitLocked(LifecycleEvent{Kind: LifecycleDestroyed, Instance: id, Seq: st.seq})
 	c.requestRefreshLocked()
@@ -972,16 +1156,21 @@ func (c *Controller) maintain() {
 			}
 		}
 		deficit := st.spec.Target - len(st.members)
-		if deficit <= 0 && !st.converged {
-			st.converged = true
-			c.met.convergeTime.ObserveDuration(now.Sub(st.createdAt))
+		if deficit <= 0 {
+			if !st.converged {
+				st.converged = true
+				c.met.convergeTime.ObserveDuration(now.Sub(st.createdAt))
+			}
+			// A recovered instance that reconverged no longer needs its
+			// adoption grace.
+			st.adoptUntil = time.Time{}
 		}
 		if deficit < 0 {
 			// Probabilistic sizing overshot: trim the excess through
 			// heartbeat replies.
 			st.trimPending = -deficit
 		}
-		if deficit > 0 && st.trimPending == 0 {
+		if deficit > 0 && st.trimPending == 0 && !now.Before(st.adoptUntil) {
 			pop := c.idleEligibleLocked(st.spec.Requirements, now)
 			if pop > 0 {
 				st.seq++
@@ -993,6 +1182,12 @@ func (c *Controller) maintain() {
 				st.wakeupAt = now
 				st.joinSinceWakeup = false
 				refresh = true
+				c.journalAppendLocked(journal.Record{Op: journal.OpRecompose, Inst: journal.InstanceRecord{
+					ID:          uint64(st.id),
+					Seq:         st.seq,
+					Wakeups:     uint32(st.wakeups),
+					Probability: w.Probability,
+				}})
 				c.met.wakeups.Inc()
 				c.emitLocked(LifecycleEvent{Kind: LifecycleRecomposed, Instance: st.id, Seq: st.seq})
 				if c.cfg.OnWakeup != nil {
@@ -1020,11 +1215,18 @@ func (c *Controller) maintain() {
 			}
 		}
 		refresh = true
+		c.journalAppendLocked(journal.Record{Op: journal.OpGC, Inst: journal.InstanceRecord{ID: uint64(id)}})
 		c.met.gced.Inc()
 		c.emitLocked(LifecycleEvent{Kind: LifecycleGCed, Instance: id})
 	}
 	if refresh || c.refreshPending {
 		c.requestRefreshLocked()
+	}
+	// Compact once the journal outgrows its threshold: snapshot the
+	// current tables and reset the journal, bounding both replay time
+	// and disk growth under sustained churn.
+	if c.cfg.Journal != nil && c.cfg.Journal.NeedsCompaction() {
+		_ = c.cfg.Journal.Compact(c.durableStateLocked())
 	}
 	c.mu.Unlock()
 }
@@ -1175,4 +1377,26 @@ func (c *Controller) HandleHeartbeat(hb *control.Heartbeat) *control.HeartbeatRe
 		sh.mu.Unlock()
 	}
 	return reply
+}
+
+// DumpState renders the durable control-plane state as deterministic
+// text: carousel order, fixed field order, no map iteration anywhere.
+// Two controllers that replayed the same snapshot+journal produce
+// byte-identical dumps — the recovery determinism contract.
+func (c *Controller) DumpState() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var b []byte
+	b = fmt.Appendf(b, "nextID=%d instances=%d\n", c.nextID, len(c.instances))
+	for _, st := range c.orderedLocked() {
+		prob := 0.0
+		if st.lastWakeup != nil {
+			prob = st.lastWakeup.Probability
+		}
+		b = fmt.Appendf(b, "instance %d seq=%d wakeups=%d resets=%d target=%d destroyed=%t resetTicks=%d prob=%.9f file=%s digest=%x req=%+v hb=%s life=%s\n",
+			st.id, st.seq, st.wakeups, st.resets, st.spec.Target, st.destroyed,
+			st.resetTicks, prob, st.imageFile, st.imageDigest,
+			st.spec.Requirements, st.spec.HeartbeatPeriod, st.spec.Lifetime)
+	}
+	return string(b)
 }

@@ -20,15 +20,31 @@ import (
 // pairs one of each — the multi-network generalization would add a
 // routing table here.)
 type Provider struct {
-	ctrl *controller.Controller
-
 	mu        sync.Mutex
+	ctrl      *controller.Controller
 	instances map[instance.ID]*Instance
 }
 
 // New wraps a started Controller.
 func New(ctrl *controller.Controller) *Provider {
 	return &Provider{ctrl: ctrl, instances: make(map[instance.ID]*Instance)}
+}
+
+// Rebind points the Provider (and every outstanding Instance handle) at
+// a replacement Controller — the crash-recovery path, where a restarted
+// Controller replays its journal and resumes serving the same instance
+// IDs.
+func (p *Provider) Rebind(ctrl *controller.Controller) {
+	p.mu.Lock()
+	p.ctrl = ctrl
+	p.mu.Unlock()
+}
+
+// controller returns the current Controller under the lock.
+func (p *Provider) controller() *controller.Controller {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ctrl
 }
 
 // Instance is a user's handle on one provisioned OddCI instance.
@@ -42,7 +58,7 @@ type Instance struct {
 
 // Create provisions a new instance.
 func (p *Provider) Create(spec controller.InstanceSpec) (*Instance, error) {
-	id, err := p.ctrl.CreateInstance(spec)
+	id, err := p.controller().CreateInstance(spec)
 	if err != nil {
 		return nil, err
 	}
@@ -65,14 +81,14 @@ func (p *Provider) Instances() []*Instance {
 }
 
 // Population reports the Controller's view of the device population.
-func (p *Provider) Population() (idle, busy int) { return p.ctrl.Population() }
+func (p *Provider) Population() (idle, busy int) { return p.controller().Population() }
 
 // ID returns the instance identifier.
 func (i *Instance) ID() instance.ID { return i.id }
 
 // Status returns consolidated instance state.
 func (i *Instance) Status() (controller.InstanceStatus, error) {
-	return i.p.ctrl.Status(i.id)
+	return i.p.controller().Status(i.id)
 }
 
 // Resize adjusts the target size.
@@ -83,7 +99,7 @@ func (i *Instance) Resize(target int) error {
 		return errors.New("provider: instance destroyed")
 	}
 	i.mu.Unlock()
-	return i.p.ctrl.Resize(i.id, target)
+	return i.p.controller().Resize(i.id, target)
 }
 
 // Destroyed reports whether Destroy has been called on this handle.
@@ -104,7 +120,7 @@ func (i *Instance) Destroy() error {
 	}
 	i.destroyed = true
 	i.mu.Unlock()
-	err := i.p.ctrl.DestroyInstance(i.id)
+	err := i.p.controller().DestroyInstance(i.id)
 	if err != nil && !errors.Is(err, controller.ErrInstanceGone) {
 		return fmt.Errorf("provider: destroy %d: %w", i.id, err)
 	}

@@ -1,0 +1,533 @@
+// Package journal is the Controller's durability layer: a compact
+// binary snapshot of control-plane state (instances, wanted sizes,
+// sequence counters, reset-retransmission windows) plus an append-only
+// journal of lifecycle mutations (create / resize / recompose /
+// destroy / gc). A crashed coordinator replays snapshot+journal to
+// recover exactly the instances it was maintaining, so the broadcast
+// channel's O(1) staging advantage is not forfeited to an O(N)
+// re-stage after every restart.
+//
+// The design splits cleanly in two:
+//
+//   - the codec and replay state machine (this file): deterministic
+//     binary encodings with CRC-32 framing, and a State that applies
+//     Records idempotently — replaying the same journal twice yields
+//     the same State, and two independent replays of the same bytes
+//     yield byte-identical snapshots;
+//   - the file Store (store.go): snapshot + journal files on disk,
+//     fsync'd appends, and periodic snapshot compaction.
+//
+// What is deliberately NOT journaled: instance membership, node state,
+// and heartbeat back-pressure tuning. All of it is reconstructed from
+// the next round of heartbeats after a restart — the PNAs are the
+// authoritative source of their own state, exactly as §3.2 consolidates
+// it in steady state.
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"time"
+
+	"oddci/internal/core/instance"
+)
+
+// Typed decode errors, matchable with errors.Is. A corrupt or truncated
+// file must fail loudly instead of yielding partial state: recovering
+// half a control plane and then broadcasting from it is worse than
+// refusing to start.
+var (
+	// ErrCorrupt reports a snapshot or journal whose framing, checksum,
+	// or field encoding is invalid.
+	ErrCorrupt = errors.New("journal: corrupt")
+	// ErrTruncated reports a journal whose final record runs past the
+	// end of the file (a torn append). It wraps ErrCorrupt.
+	ErrTruncated = fmt.Errorf("%w: truncated tail", ErrCorrupt)
+)
+
+// Op classifies one journaled lifecycle mutation.
+type Op uint8
+
+// Journal operations, mirroring the Controller's instance state
+// machine. OpRecompose also covers head-end wakeup retransmissions
+// (sequence bumps) outside the maintenance loop.
+const (
+	OpCreate Op = iota + 1
+	OpResize
+	OpRecompose
+	OpDestroy
+	OpGC
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpCreate:
+		return "create"
+	case OpResize:
+		return "resize"
+	case OpRecompose:
+		return "recompose"
+	case OpDestroy:
+		return "destroy"
+	case OpGC:
+		return "gc"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// InstanceRecord is the durable image of one instance: everything the
+// Controller needs to re-enter the carousel at the recorded generation
+// — spec, image bytes, and counters — and nothing reconstructable from
+// heartbeats (membership, trim progress, back-pressure periods).
+type InstanceRecord struct {
+	ID      uint64
+	Seq     uint32
+	Wakeups uint32
+	Resets  uint32
+	// Probability is the last broadcast wakeup probability; the
+	// recovered wakeup envelope re-airs with it.
+	Probability float64
+	Destroyed   bool
+	// ResetTicks is the reset-retransmission window at destroy time; a
+	// recovered destroyed instance restarts the full window (every
+	// grace-windowed PNA gets another chance to observe the reset).
+	ResetTicks      int32
+	Target          int32
+	HeartbeatPeriod time.Duration
+	Lifetime        time.Duration
+	Requirements    instance.Requirements
+	ImageFile       string
+	// Image is the canonical appimage encoding staged on the carousel.
+	Image []byte
+}
+
+// Record is one journal entry. Inst carries the full record for
+// OpCreate; the other ops use only the fields they mutate (ID always,
+// plus Seq/Wakeups/Probability for recompose, Seq/Resets/ResetTicks for
+// destroy, Target for resize). Fields are absolute values, never
+// deltas, which is what makes replay idempotent.
+type Record struct {
+	Op   Op
+	Inst InstanceRecord
+}
+
+// Snapshot is the compact full-state image written at compaction time.
+// Instances are in carousel (creation) order; replay preserves it.
+type Snapshot struct {
+	NextID    uint64
+	Instances []InstanceRecord
+}
+
+// File magics and the codec version.
+var (
+	snapshotMagic = [4]byte{'O', 'J', 'S', 'N'}
+	journalMagic  = [4]byte{'O', 'J', 'N', 'L'}
+)
+
+const codecVersion = 1
+
+// JournalHeader is the fixed prefix of a journal file.
+func JournalHeader() []byte {
+	return append(journalMagic[:], codecVersion)
+}
+
+const journalHeaderLen = 5
+
+func appendInstance(b []byte, r *InstanceRecord) ([]byte, error) {
+	if len(r.ImageFile) > 255 {
+		return nil, errors.New("journal: image file name too long")
+	}
+	if r.HeartbeatPeriod < 0 || r.Lifetime < 0 {
+		return nil, errors.New("journal: negative durations")
+	}
+	if r.Probability < 0 || r.Probability > 1 || math.IsNaN(r.Probability) {
+		return nil, fmt.Errorf("journal: probability %v out of [0,1]", r.Probability)
+	}
+	b = binary.BigEndian.AppendUint64(b, r.ID)
+	b = binary.BigEndian.AppendUint32(b, r.Seq)
+	b = binary.BigEndian.AppendUint32(b, r.Wakeups)
+	b = binary.BigEndian.AppendUint32(b, r.Resets)
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(r.Probability))
+	var flags byte
+	if r.Destroyed {
+		flags |= 1
+	}
+	b = append(b, flags)
+	b = binary.BigEndian.AppendUint32(b, uint32(r.ResetTicks))
+	b = binary.BigEndian.AppendUint32(b, uint32(r.Target))
+	b = binary.BigEndian.AppendUint64(b, uint64(r.HeartbeatPeriod))
+	b = binary.BigEndian.AppendUint64(b, uint64(r.Lifetime))
+	b = r.Requirements.Encode(b)
+	b = append(b, byte(len(r.ImageFile)))
+	b = append(b, r.ImageFile...)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(r.Image)))
+	b = append(b, r.Image...)
+	return b, nil
+}
+
+func decodeInstance(b []byte) (InstanceRecord, []byte, error) {
+	const fixed = 8 + 4 + 4 + 4 + 8 + 1 + 4 + 4 + 8 + 8
+	if len(b) < fixed {
+		return InstanceRecord{}, nil, fmt.Errorf("%w: short instance record", ErrCorrupt)
+	}
+	r := InstanceRecord{
+		ID:      binary.BigEndian.Uint64(b),
+		Seq:     binary.BigEndian.Uint32(b[8:]),
+		Wakeups: binary.BigEndian.Uint32(b[12:]),
+		Resets:  binary.BigEndian.Uint32(b[16:]),
+	}
+	r.Probability = math.Float64frombits(binary.BigEndian.Uint64(b[20:]))
+	if r.Probability < 0 || r.Probability > 1 || math.IsNaN(r.Probability) {
+		return InstanceRecord{}, nil, fmt.Errorf("%w: probability out of range", ErrCorrupt)
+	}
+	flags := b[28]
+	if flags&^byte(1) != 0 {
+		return InstanceRecord{}, nil, fmt.Errorf("%w: unknown instance flags %#x", ErrCorrupt, flags)
+	}
+	r.Destroyed = flags&1 != 0
+	r.ResetTicks = int32(binary.BigEndian.Uint32(b[29:]))
+	r.Target = int32(binary.BigEndian.Uint32(b[33:]))
+	r.HeartbeatPeriod = time.Duration(binary.BigEndian.Uint64(b[37:]))
+	r.Lifetime = time.Duration(binary.BigEndian.Uint64(b[45:]))
+	if r.HeartbeatPeriod < 0 || r.Lifetime < 0 {
+		return InstanceRecord{}, nil, fmt.Errorf("%w: negative durations", ErrCorrupt)
+	}
+	var err error
+	r.Requirements, b, err = instance.DecodeRequirements(b[53:])
+	if err != nil {
+		return InstanceRecord{}, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if len(b) < 1 {
+		return InstanceRecord{}, nil, fmt.Errorf("%w: missing image name", ErrCorrupt)
+	}
+	nameLen := int(b[0])
+	b = b[1:]
+	if len(b) < nameLen+4 {
+		return InstanceRecord{}, nil, fmt.Errorf("%w: short image name", ErrCorrupt)
+	}
+	r.ImageFile = string(b[:nameLen])
+	b = b[nameLen:]
+	imgLen := int(binary.BigEndian.Uint32(b))
+	b = b[4:]
+	if len(b) < imgLen {
+		return InstanceRecord{}, nil, fmt.Errorf("%w: short image body", ErrCorrupt)
+	}
+	r.Image = append([]byte(nil), b[:imgLen]...)
+	return r, b[imgLen:], nil
+}
+
+// appendRecordPayload encodes one record (without framing). Each op
+// carries only the fields it mutates, keeping steady-state journal
+// growth to a few dozen bytes per lifecycle transition.
+func appendRecordPayload(b []byte, r Record) ([]byte, error) {
+	b = append(b, byte(r.Op))
+	switch r.Op {
+	case OpCreate:
+		return appendInstance(b, &r.Inst)
+	case OpResize:
+		b = binary.BigEndian.AppendUint64(b, r.Inst.ID)
+		b = binary.BigEndian.AppendUint32(b, uint32(r.Inst.Target))
+		return b, nil
+	case OpRecompose:
+		b = binary.BigEndian.AppendUint64(b, r.Inst.ID)
+		b = binary.BigEndian.AppendUint32(b, r.Inst.Seq)
+		b = binary.BigEndian.AppendUint32(b, r.Inst.Wakeups)
+		if r.Inst.Probability < 0 || r.Inst.Probability > 1 || math.IsNaN(r.Inst.Probability) {
+			return nil, fmt.Errorf("journal: probability %v out of [0,1]", r.Inst.Probability)
+		}
+		b = binary.BigEndian.AppendUint64(b, math.Float64bits(r.Inst.Probability))
+		return b, nil
+	case OpDestroy:
+		b = binary.BigEndian.AppendUint64(b, r.Inst.ID)
+		b = binary.BigEndian.AppendUint32(b, r.Inst.Seq)
+		b = binary.BigEndian.AppendUint32(b, r.Inst.Resets)
+		b = binary.BigEndian.AppendUint32(b, uint32(r.Inst.ResetTicks))
+		return b, nil
+	case OpGC:
+		b = binary.BigEndian.AppendUint64(b, r.Inst.ID)
+		return b, nil
+	default:
+		return nil, fmt.Errorf("journal: unknown op %d", r.Op)
+	}
+}
+
+func decodeRecordPayload(b []byte) (Record, error) {
+	if len(b) < 1 {
+		return Record{}, fmt.Errorf("%w: empty record", ErrCorrupt)
+	}
+	r := Record{Op: Op(b[0])}
+	b = b[1:]
+	need := func(n int) error {
+		if len(b) < n {
+			return fmt.Errorf("%w: short %s record", ErrCorrupt, r.Op)
+		}
+		return nil
+	}
+	switch r.Op {
+	case OpCreate:
+		inst, rest, err := decodeInstance(b)
+		if err != nil {
+			return Record{}, err
+		}
+		if len(rest) != 0 {
+			return Record{}, fmt.Errorf("%w: trailing bytes in create record", ErrCorrupt)
+		}
+		r.Inst = inst
+	case OpResize:
+		if err := need(12); err != nil {
+			return Record{}, err
+		}
+		r.Inst.ID = binary.BigEndian.Uint64(b)
+		r.Inst.Target = int32(binary.BigEndian.Uint32(b[8:]))
+	case OpRecompose:
+		if err := need(24); err != nil {
+			return Record{}, err
+		}
+		r.Inst.ID = binary.BigEndian.Uint64(b)
+		r.Inst.Seq = binary.BigEndian.Uint32(b[8:])
+		r.Inst.Wakeups = binary.BigEndian.Uint32(b[12:])
+		r.Inst.Probability = math.Float64frombits(binary.BigEndian.Uint64(b[16:]))
+		if r.Inst.Probability < 0 || r.Inst.Probability > 1 || math.IsNaN(r.Inst.Probability) {
+			return Record{}, fmt.Errorf("%w: probability out of range", ErrCorrupt)
+		}
+	case OpDestroy:
+		if err := need(20); err != nil {
+			return Record{}, err
+		}
+		r.Inst.ID = binary.BigEndian.Uint64(b)
+		r.Inst.Seq = binary.BigEndian.Uint32(b[8:])
+		r.Inst.Resets = binary.BigEndian.Uint32(b[12:])
+		r.Inst.ResetTicks = int32(binary.BigEndian.Uint32(b[16:]))
+	case OpGC:
+		if err := need(8); err != nil {
+			return Record{}, err
+		}
+		r.Inst.ID = binary.BigEndian.Uint64(b)
+	default:
+		return Record{}, fmt.Errorf("%w: unknown op %d", ErrCorrupt, uint8(r.Op))
+	}
+	return r, nil
+}
+
+// EncodeRecord frames one record for the journal file:
+// length(4) | payload | crc32(payload).
+func EncodeRecord(r Record) ([]byte, error) {
+	payload, err := appendRecordPayload(nil, r)
+	if err != nil {
+		return nil, err
+	}
+	b := make([]byte, 0, 8+len(payload))
+	b = binary.BigEndian.AppendUint32(b, uint32(len(payload)))
+	b = append(b, payload...)
+	b = binary.BigEndian.AppendUint32(b, crc32.ChecksumIEEE(payload))
+	return b, nil
+}
+
+// EncodeJournal renders a whole journal file (header + framed records).
+func EncodeJournal(recs []Record) ([]byte, error) {
+	b := JournalHeader()
+	for _, r := range recs {
+		fr, err := EncodeRecord(r)
+		if err != nil {
+			return nil, err
+		}
+		b = append(b, fr...)
+	}
+	return b, nil
+}
+
+// DecodeJournal parses a journal file strictly: a bad header, a record
+// whose checksum or encoding is invalid (ErrCorrupt), or a final record
+// that runs past the end of the file (ErrTruncated) fails the whole
+// decode — no partial state escapes.
+func DecodeJournal(b []byte) ([]Record, error) {
+	if len(b) == 0 {
+		return nil, nil // an absent or empty journal is a valid empty one
+	}
+	if len(b) < journalHeaderLen || [4]byte(b[:4]) != journalMagic {
+		return nil, fmt.Errorf("%w: bad journal header", ErrCorrupt)
+	}
+	if b[4] != codecVersion {
+		return nil, fmt.Errorf("%w: journal version %d (want %d)", ErrCorrupt, b[4], codecVersion)
+	}
+	b = b[journalHeaderLen:]
+	var recs []Record
+	for len(b) > 0 {
+		if len(b) < 4 {
+			return nil, ErrTruncated
+		}
+		plen := int(binary.BigEndian.Uint32(b))
+		if len(b) < 4+plen+4 {
+			return nil, ErrTruncated
+		}
+		payload := b[4 : 4+plen]
+		sum := binary.BigEndian.Uint32(b[4+plen:])
+		if crc32.ChecksumIEEE(payload) != sum {
+			return nil, fmt.Errorf("%w: record %d checksum mismatch", ErrCorrupt, len(recs))
+		}
+		r, err := decodeRecordPayload(payload)
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, r)
+		b = b[4+plen+4:]
+	}
+	return recs, nil
+}
+
+// EncodeSnapshot renders a snapshot file:
+// magic(4) | version(1) | nextID(8) | count(4) | records | crc32(all).
+func EncodeSnapshot(s *Snapshot) ([]byte, error) {
+	b := append(snapshotMagic[:], codecVersion)
+	b = binary.BigEndian.AppendUint64(b, s.NextID)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(s.Instances)))
+	for i := range s.Instances {
+		var err error
+		b, err = appendInstance(b, &s.Instances[i])
+		if err != nil {
+			return nil, err
+		}
+	}
+	return binary.BigEndian.AppendUint32(b, crc32.ChecksumIEEE(b)), nil
+}
+
+// DecodeSnapshot parses a snapshot file strictly.
+func DecodeSnapshot(b []byte) (*Snapshot, error) {
+	if len(b) < 5+8+4+4 {
+		return nil, fmt.Errorf("%w: short snapshot", ErrCorrupt)
+	}
+	if [4]byte(b[:4]) != snapshotMagic {
+		return nil, fmt.Errorf("%w: bad snapshot magic", ErrCorrupt)
+	}
+	if b[4] != codecVersion {
+		return nil, fmt.Errorf("%w: snapshot version %d (want %d)", ErrCorrupt, b[4], codecVersion)
+	}
+	body, sum := b[:len(b)-4], binary.BigEndian.Uint32(b[len(b)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, fmt.Errorf("%w: snapshot checksum mismatch", ErrCorrupt)
+	}
+	s := &Snapshot{NextID: binary.BigEndian.Uint64(body[5:])}
+	count := int(binary.BigEndian.Uint32(body[13:]))
+	rest := body[17:]
+	for i := 0; i < count; i++ {
+		var rec InstanceRecord
+		var err error
+		rec, rest, err = decodeInstance(rest)
+		if err != nil {
+			return nil, err
+		}
+		s.Instances = append(s.Instances, rec)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: trailing bytes in snapshot", ErrCorrupt)
+	}
+	return s, nil
+}
+
+// State is the replayed control-plane image: the instance table in
+// carousel order plus the ID high-water mark. NextID is durable so a
+// restarted Controller keeps distinguishing IDs it garbage-collected
+// (gone) from IDs it never issued (unknown).
+type State struct {
+	NextID    uint64
+	Order     []uint64
+	Instances map[uint64]*InstanceRecord
+}
+
+// NewState returns an empty state (NextID 1, no instances).
+func NewState() *State {
+	return &State{NextID: 1, Instances: make(map[uint64]*InstanceRecord)}
+}
+
+// Empty reports whether the state records nothing durable.
+func (s *State) Empty() bool {
+	return s.NextID <= 1 && len(s.Instances) == 0
+}
+
+// Apply folds one record into the state. Apply is idempotent: records
+// carry absolute values, creates below the ID high-water mark are
+// replays and are skipped, and destroy/gc on already-destroyed/absent
+// instances are no-ops — so replaying a journal twice yields the same
+// state as replaying it once.
+func (s *State) Apply(r Record) {
+	switch r.Op {
+	case OpCreate:
+		if r.Inst.ID < s.NextID {
+			return // replayed create of an ID already accounted for
+		}
+		rec := r.Inst
+		rec.Image = append([]byte(nil), r.Inst.Image...)
+		s.Instances[rec.ID] = &rec
+		s.Order = append(s.Order, rec.ID)
+		s.NextID = rec.ID + 1
+	case OpResize:
+		if st, ok := s.Instances[r.Inst.ID]; ok && !st.Destroyed {
+			st.Target = r.Inst.Target
+		}
+	case OpRecompose:
+		if st, ok := s.Instances[r.Inst.ID]; ok && !st.Destroyed {
+			st.Seq = r.Inst.Seq
+			st.Wakeups = r.Inst.Wakeups
+			st.Probability = r.Inst.Probability
+		}
+	case OpDestroy:
+		if st, ok := s.Instances[r.Inst.ID]; ok && !st.Destroyed {
+			st.Destroyed = true
+			st.Seq = r.Inst.Seq
+			st.Resets = r.Inst.Resets
+			st.ResetTicks = r.Inst.ResetTicks
+		}
+	case OpGC:
+		if st, ok := s.Instances[r.Inst.ID]; ok && st.Destroyed {
+			delete(s.Instances, r.Inst.ID)
+			for i, id := range s.Order {
+				if id == r.Inst.ID {
+					s.Order = append(s.Order[:i], s.Order[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+}
+
+// Replay folds a snapshot and a journal into a State. A nil snapshot
+// starts from empty.
+func Replay(snap *Snapshot, recs []Record) *State {
+	s := NewState()
+	if snap != nil {
+		if snap.NextID > s.NextID {
+			s.NextID = snap.NextID
+		}
+		for i := range snap.Instances {
+			rec := snap.Instances[i]
+			rec.Image = append([]byte(nil), snap.Instances[i].Image...)
+			s.Instances[rec.ID] = &rec
+			s.Order = append(s.Order, rec.ID)
+			if rec.ID >= s.NextID {
+				s.NextID = rec.ID + 1
+			}
+		}
+	}
+	for _, r := range recs {
+		s.Apply(r)
+	}
+	return s
+}
+
+// Snapshot renders the state back into a compact snapshot, preserving
+// carousel order — the deterministic fixed point the property tests
+// pivot on: Replay(x.Snapshot(), nil).Snapshot() == x.Snapshot().
+func (s *State) Snapshot() *Snapshot {
+	out := &Snapshot{NextID: s.NextID}
+	for _, id := range s.Order {
+		if rec, ok := s.Instances[id]; ok {
+			out.Instances = append(out.Instances, *rec)
+		}
+	}
+	return out
+}

@@ -1,0 +1,298 @@
+package journal
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"oddci/internal/core/instance"
+)
+
+func randInstance(rng *rand.Rand, id uint64) InstanceRecord {
+	img := make([]byte, rng.Intn(2048))
+	rng.Read(img)
+	return InstanceRecord{
+		ID:              id,
+		Seq:             rng.Uint32(),
+		Wakeups:         rng.Uint32(),
+		Resets:          rng.Uint32(),
+		Probability:     rng.Float64(),
+		Destroyed:       rng.Intn(2) == 0,
+		ResetTicks:      int32(rng.Intn(10) - 2),
+		Target:          int32(rng.Intn(1000)),
+		HeartbeatPeriod: time.Duration(rng.Intn(1e9)),
+		Lifetime:        time.Duration(rng.Intn(1e12)),
+		Requirements: instance.Requirements{
+			Class: instance.ClassSTB, MinMemMB: uint32(rng.Intn(1 << 16)), MinCPUScore: uint32(rng.Intn(1 << 16)),
+		},
+		ImageFile: "image." + string(rune('a'+rng.Intn(26))),
+		Image:     img,
+	}
+}
+
+func randRecord(rng *rand.Rand, id uint64) Record {
+	op := Op(1 + rng.Intn(5))
+	r := Record{Op: op}
+	switch op {
+	case OpCreate:
+		r.Inst = randInstance(rng, id)
+	case OpResize:
+		r.Inst = InstanceRecord{ID: id, Target: int32(rng.Intn(1000))}
+	case OpRecompose:
+		r.Inst = InstanceRecord{ID: id, Seq: rng.Uint32(), Wakeups: rng.Uint32(), Probability: rng.Float64()}
+	case OpDestroy:
+		r.Inst = InstanceRecord{ID: id, Seq: rng.Uint32(), Resets: rng.Uint32(), ResetTicks: int32(rng.Intn(10))}
+	case OpGC:
+		r.Inst = InstanceRecord{ID: id}
+	}
+	return r
+}
+
+// Property: encode→decode over a random journal is the identity.
+func TestJournalRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		var recs []Record
+		n := rng.Intn(40)
+		for i := 0; i < n; i++ {
+			recs = append(recs, randRecord(rng, uint64(1+rng.Intn(8))))
+		}
+		b, err := EncodeJournal(recs)
+		if err != nil {
+			t.Fatalf("trial %d: encode: %v", trial, err)
+		}
+		got, err := DecodeJournal(b)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if len(got) != len(recs) {
+			t.Fatalf("trial %d: %d records round-tripped to %d", trial, len(recs), len(got))
+		}
+		for i := range recs {
+			if !reflect.DeepEqual(normalize(recs[i]), normalize(got[i])) {
+				t.Fatalf("trial %d record %d: %+v != %+v", trial, i, recs[i], got[i])
+			}
+		}
+	}
+}
+
+// normalize maps a nil image to an empty one (Decode always allocates).
+func normalize(r Record) Record {
+	if r.Inst.Image == nil {
+		r.Inst.Image = []byte{}
+	}
+	return r
+}
+
+// Property: replaying a journal twice yields the same state as once —
+// the idempotence that makes a compaction crash window safe (journal
+// records re-apply on top of the snapshot that already contains them).
+func TestReplayIdempotenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		// Generate a journal shaped exactly like the Controller's: per
+		// instance the record order respects the lifecycle state machine
+		// (create → resize/recompose* → destroy → gc). Idempotence is a
+		// property of such journals — an out-of-order gc (before its
+		// destroy) would be a no-op on first replay yet effective on the
+		// second, but the Controller can never write one.
+		var recs []Record
+		var live, destroyed []uint64
+		nextID := uint64(1)
+		for i := 0; i < 30; i++ {
+			var r Record
+			switch {
+			case len(live)+len(destroyed) == 0 || rng.Intn(4) == 0:
+				r = Record{Op: OpCreate, Inst: randInstance(rng, nextID)}
+				r.Inst.Destroyed = false
+				live = append(live, nextID)
+				nextID++
+			case len(destroyed) > 0 && rng.Intn(3) == 0:
+				k := rng.Intn(len(destroyed))
+				r = Record{Op: OpGC, Inst: InstanceRecord{ID: destroyed[k]}}
+				destroyed = append(destroyed[:k], destroyed[k+1:]...)
+			case len(live) > 0:
+				k := rng.Intn(len(live))
+				id := live[k]
+				switch rng.Intn(3) {
+				case 0:
+					r = Record{Op: OpResize, Inst: InstanceRecord{ID: id, Target: int32(rng.Intn(1000))}}
+				case 1:
+					r = Record{Op: OpRecompose, Inst: InstanceRecord{ID: id, Seq: rng.Uint32(), Wakeups: rng.Uint32(), Probability: rng.Float64()}}
+				default:
+					r = Record{Op: OpDestroy, Inst: InstanceRecord{ID: id, Seq: rng.Uint32(), Resets: rng.Uint32(), ResetTicks: int32(rng.Intn(10))}}
+					live = append(live[:k], live[k+1:]...)
+					destroyed = append(destroyed, id)
+				}
+			default:
+				r = Record{Op: OpCreate, Inst: randInstance(rng, nextID)}
+				r.Inst.Destroyed = false
+				live = append(live, nextID)
+				nextID++
+			}
+			recs = append(recs, r)
+		}
+		once := Replay(nil, recs)
+		twice := Replay(nil, append(append([]Record{}, recs...), recs...))
+		s1, err := EncodeSnapshot(once.Snapshot())
+		if err != nil {
+			t.Fatalf("trial %d: snapshot once: %v", trial, err)
+		}
+		s2, err := EncodeSnapshot(twice.Snapshot())
+		if err != nil {
+			t.Fatalf("trial %d: snapshot twice: %v", trial, err)
+		}
+		if string(s1) != string(s2) {
+			t.Fatalf("trial %d: double replay diverged", trial)
+		}
+		// And the snapshot is a fixed point of replay.
+		again := Replay(once.Snapshot(), nil)
+		s3, err := EncodeSnapshot(again.Snapshot())
+		if err != nil {
+			t.Fatalf("trial %d: snapshot again: %v", trial, err)
+		}
+		if string(s1) != string(s3) {
+			t.Fatalf("trial %d: snapshot not a replay fixed point", trial)
+		}
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	snap := &Snapshot{NextID: 42}
+	for i := 0; i < 5; i++ {
+		snap.Instances = append(snap.Instances, randInstance(rng, uint64(i+1)))
+	}
+	b, err := EncodeSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSnapshot(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NextID != snap.NextID || len(got.Instances) != len(snap.Instances) {
+		t.Fatalf("snapshot header round-trip: %+v", got)
+	}
+	for i := range snap.Instances {
+		if !reflect.DeepEqual(snap.Instances[i], got.Instances[i]) {
+			t.Fatalf("instance %d: %+v != %+v", i, snap.Instances[i], got.Instances[i])
+		}
+	}
+}
+
+func TestCorruptJournalTypedErrors(t *testing.T) {
+	recs := []Record{
+		{Op: OpCreate, Inst: randInstance(rand.New(rand.NewSource(5)), 1)},
+		{Op: OpResize, Inst: InstanceRecord{ID: 1, Target: 9}},
+	}
+	good, err := EncodeJournal(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("truncated tail", func(t *testing.T) {
+		for cut := 1; cut < 12; cut++ {
+			_, err := DecodeJournal(good[:len(good)-cut])
+			if !errors.Is(err, ErrTruncated) {
+				t.Fatalf("cut %d: err = %v, want ErrTruncated", cut, err)
+			}
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("cut %d: ErrTruncated must wrap ErrCorrupt", cut)
+			}
+		}
+	})
+	t.Run("bit flip", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[len(bad)-10] ^= 0x40
+		if _, err := DecodeJournal(bad); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[0] = 'X'
+		if _, err := DecodeJournal(bad); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("bad version", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[4] = 99
+		if _, err := DecodeJournal(bad); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("empty is valid", func(t *testing.T) {
+		if recs, err := DecodeJournal(nil); err != nil || len(recs) != 0 {
+			t.Fatalf("empty journal: %v, %d records", err, len(recs))
+		}
+	})
+	t.Run("corrupt snapshot", func(t *testing.T) {
+		snap, err := EncodeSnapshot(&Snapshot{NextID: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap[len(snap)-1] ^= 1
+		if _, err := DecodeSnapshot(snap); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v, want ErrCorrupt", err)
+		}
+	})
+}
+
+func TestApplySemantics(t *testing.T) {
+	img := InstanceRecord{ID: 1, Seq: 1, Wakeups: 1, Probability: 0.5, Target: 4, ImageFile: "image.1", Image: []byte{1, 2}}
+	s := NewState()
+
+	s.Apply(Record{Op: OpCreate, Inst: img})
+	if s.NextID != 2 || len(s.Instances) != 1 {
+		t.Fatalf("after create: nextID=%d instances=%d", s.NextID, len(s.Instances))
+	}
+	// Replayed create of a known ID is a no-op (IDs are never reused).
+	mut := img
+	mut.Target = 99
+	s.Apply(Record{Op: OpCreate, Inst: mut})
+	if s.Instances[1].Target != 4 {
+		t.Fatal("replayed create mutated state")
+	}
+	// Ops on unknown IDs are no-ops.
+	s.Apply(Record{Op: OpResize, Inst: InstanceRecord{ID: 7, Target: 3}})
+	s.Apply(Record{Op: OpGC, Inst: InstanceRecord{ID: 7}})
+	if len(s.Instances) != 1 {
+		t.Fatal("unknown-id op mutated state")
+	}
+	s.Apply(Record{Op: OpResize, Inst: InstanceRecord{ID: 1, Target: 2}})
+	if s.Instances[1].Target != 2 {
+		t.Fatal("resize lost")
+	}
+	s.Apply(Record{Op: OpRecompose, Inst: InstanceRecord{ID: 1, Seq: 5, Wakeups: 3, Probability: 0.25}})
+	if st := s.Instances[1]; st.Seq != 5 || st.Wakeups != 3 || st.Probability != 0.25 {
+		t.Fatalf("recompose: %+v", st)
+	}
+	// GC before destroy is a no-op; after destroy it removes.
+	s.Apply(Record{Op: OpGC, Inst: InstanceRecord{ID: 1}})
+	if len(s.Instances) != 1 {
+		t.Fatal("gc removed a live instance")
+	}
+	s.Apply(Record{Op: OpDestroy, Inst: InstanceRecord{ID: 1, Seq: 6, Resets: 1, ResetTicks: 3}})
+	if st := s.Instances[1]; !st.Destroyed || st.Seq != 6 || st.ResetTicks != 3 {
+		t.Fatalf("destroy: %+v", st)
+	}
+	// Second destroy is a no-op.
+	s.Apply(Record{Op: OpDestroy, Inst: InstanceRecord{ID: 1, Seq: 99}})
+	if s.Instances[1].Seq != 6 {
+		t.Fatal("double destroy mutated state")
+	}
+	s.Apply(Record{Op: OpGC, Inst: InstanceRecord{ID: 1}})
+	if len(s.Instances) != 0 || len(s.Order) != 0 {
+		t.Fatal("gc left residue")
+	}
+	if s.NextID != 2 {
+		t.Fatal("gc must not lower the ID high-water mark")
+	}
+	if s.Empty() {
+		t.Fatal("state with issued IDs must not report empty")
+	}
+}

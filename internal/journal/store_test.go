@@ -1,0 +1,211 @@
+package journal
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"oddci/internal/obs"
+)
+
+// liveInstance is randInstance constrained to a non-destroyed record,
+// so later resize/recompose ops against it actually apply.
+func liveInstance(rng *rand.Rand, id uint64) InstanceRecord {
+	rec := randInstance(rng, id)
+	rec.Destroyed = false
+	return rec
+}
+
+func openTestStore(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	opts.NoSync = true
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestStoreAppendLoadAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(7))
+	s := openTestStore(t, dir, Options{})
+
+	want := []Record{
+		{Op: OpCreate, Inst: liveInstance(rng, 1)},
+		{Op: OpCreate, Inst: liveInstance(rng, 2)},
+		{Op: OpResize, Inst: InstanceRecord{ID: 1, Target: 9}},
+		{Op: OpDestroy, Inst: InstanceRecord{ID: 2, Seq: 4, Resets: 1, ResetTicks: 3}},
+	}
+	for _, r := range want {
+		if err := s.Append(r); err != nil {
+			t.Fatalf("Append(%v): %v", r.Op, err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2 := openTestStore(t, dir, Options{})
+	st, err := s2.Load()
+	if err != nil {
+		t.Fatalf("Load after reopen: %v", err)
+	}
+	if st.NextID != 3 {
+		t.Fatalf("NextID = %d, want 3", st.NextID)
+	}
+	if got := st.Instances[1].Target; got != 9 {
+		t.Fatalf("instance 1 target = %d, want 9", got)
+	}
+	if !st.Instances[2].Destroyed {
+		t.Fatal("instance 2 should be destroyed after replay")
+	}
+}
+
+func TestStoreCompactionResetsJournal(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(8))
+	s := openTestStore(t, dir, Options{CompactEvery: 3})
+
+	for id := uint64(1); id <= 3; id++ {
+		if err := s.Append(Record{Op: OpCreate, Inst: liveInstance(rng, id)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.NeedsCompaction() {
+		t.Fatal("3 records with CompactEvery=3 should arm compaction")
+	}
+	st, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(st); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if s.NeedsCompaction() {
+		t.Fatal("compaction should reset the record count")
+	}
+	jb, err := os.ReadFile(filepath.Join(dir, journalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jb) != len(JournalHeader()) {
+		t.Fatalf("journal is %d bytes after compaction, want bare header (%d)", len(jb), len(JournalHeader()))
+	}
+
+	// Post-compaction appends coexist with the snapshot.
+	if err := s.Append(Record{Op: OpResize, Inst: InstanceRecord{ID: 2, Target: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s2 := openTestStore(t, dir, Options{})
+	st2, err := s2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st2.Order) != 3 || st2.Instances[2].Target != 5 {
+		t.Fatalf("snapshot+journal replay wrong: order=%v target=%d", st2.Order, st2.Instances[2].Target)
+	}
+}
+
+func TestStoreLoadTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(9))
+	s := openTestStore(t, dir, Options{})
+	if err := s.Append(Record{Op: OpCreate, Inst: liveInstance(rng, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	path := filepath.Join(dir, journalFile)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b[:len(b)-2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openTestStore(t, dir, Options{})
+	if _, err := s2.Load(); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("Load on cut tail = %v, want ErrTruncated", err)
+	}
+}
+
+func TestStoreHealthAndMetrics(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	rng := rand.New(rand.NewSource(10))
+	s := openTestStore(t, dir, Options{Obs: reg})
+
+	if err := reg.Health()["journal-stalled"]; err != nil {
+		t.Fatalf("fresh store health = %v, want ok", err)
+	}
+	if err := s.Append(Record{Op: OpCreate, Inst: liveInstance(rng, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := reg.Value("oddci_journal_appends_total"); !ok || v != 1 {
+		t.Fatalf("appends counter = %v,%v, want 1", v, ok)
+	}
+	if v, ok := reg.Value("oddci_journal_records"); !ok || v != 1 {
+		t.Fatalf("records gauge = %v,%v, want 1", v, ok)
+	}
+	if _, err := s.Load(); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := reg.Value("oddci_journal_replayed_records_total"); v != 1 {
+		t.Fatalf("replayed counter = %v, want 1", v)
+	}
+
+	// Closing the file out from under the store forces an append error,
+	// which must latch into Err and the journal-stalled health check.
+	s.f.Close()
+	if err := s.Append(Record{Op: OpResize, Inst: InstanceRecord{ID: 1, Target: 2}}); err == nil {
+		t.Fatal("append after file close should fail")
+	}
+	if s.Err() == nil {
+		t.Fatal("Err() should latch the append failure")
+	}
+	if err := reg.Health()["journal-stalled"]; err == nil {
+		t.Fatal("journal-stalled health check should fail after an append error")
+	}
+	if v, _ := reg.Value("oddci_journal_errors_total"); v != 1 {
+		t.Fatalf("errors counter = %v, want 1", v)
+	}
+}
+
+func TestStoreClosedAppendFails(t *testing.T) {
+	s := openTestStore(t, t.TempDir(), Options{})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("double close = %v, want nil", err)
+	}
+	if err := s.Append(Record{Op: OpGC, Inst: InstanceRecord{ID: 1}}); err == nil {
+		t.Fatal("append on closed store should fail")
+	}
+}
+
+func TestLoadOrCreateKeyPersists(t *testing.T) {
+	dir := t.TempDir()
+	k1, err := LoadOrCreateKey(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := LoadOrCreateKey(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !k1.Equal(k2) {
+		t.Fatal("second load returned a different key")
+	}
+	if err := os.WriteFile(filepath.Join(dir, keyFile), []byte("short"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadOrCreateKey(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("short key file = %v, want ErrCorrupt", err)
+	}
+}

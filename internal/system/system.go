@@ -26,6 +26,7 @@ import (
 	"oddci/internal/core/provider"
 	"oddci/internal/dsmcc"
 	"oddci/internal/flute"
+	"oddci/internal/journal"
 	"oddci/internal/middleware"
 	"oddci/internal/netsim"
 	"oddci/internal/obs"
@@ -97,6 +98,11 @@ type Config struct {
 	// reference-STB population. This is §3's heterogeneous device
 	// universe — wakeup requirements select within it.
 	DeviceMix []DeviceSpec
+	// StateDir, if set, makes the control plane durable: the Controller
+	// journals lifecycle mutations there, and CrashController /
+	// RestartController exercise a hard stop + snapshot/journal recovery
+	// while the carousel keeps cycling and the devices stay up.
+	StateDir string
 }
 
 // DeviceSpec is one stratum of a heterogeneous population.
@@ -160,9 +166,20 @@ type System struct {
 
 	controllerPub ed25519.PublicKey
 
+	// Durable control-plane state (Config.StateDir): the journal store,
+	// the head-end handle and controller config template needed to
+	// rebuild a Controller after a crash, and a dedicated restart rng
+	// stream so recovery does not perturb the deployment's other
+	// deterministic draws.
+	store      *journal.Store
+	head       controller.HeadEnd
+	ctrlCfg    controller.Config
+	restartRng *rand.Rand
+
 	mu      sync.Mutex
 	byInst  map[instance.ID]map[uint64]bool // live busy membership, direct observation
 	started bool
+	crashed bool
 }
 
 // New assembles (but does not start) a deployment.
@@ -242,7 +259,7 @@ func New(cfg Config) (*System, error) {
 		}
 	}
 
-	ctrl, err := controller.New(controller.Config{
+	ctrlCfg := controller.Config{
 		Clock:                clk,
 		Broadcaster:          head,
 		Signalling:           sig,
@@ -263,8 +280,19 @@ func New(cfg Config) (*System, error) {
 				})
 			}
 		},
-		Rng: rand.New(rand.NewSource(rng.Int63())),
-	})
+	}
+	var store *journal.Store
+	if cfg.StateDir != "" {
+		var err error
+		store, err = journal.Open(cfg.StateDir, journal.Options{Obs: cfg.Obs})
+		if err != nil {
+			return nil, err
+		}
+	}
+	runCfg := ctrlCfg
+	runCfg.Journal = store
+	runCfg.Rng = rand.New(rand.NewSource(rng.Int63()))
+	ctrl, err := controller.New(runCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -285,6 +313,10 @@ func New(cfg Config) (*System, error) {
 		Signalling:    sig,
 		Registry:      reg,
 		controllerPub: pub,
+		store:         store,
+		head:          head,
+		ctrlCfg:       ctrlCfg,
+		restartRng:    rand.New(rand.NewSource(rng.Int63())),
 		byInst:        make(map[instance.ID]map[uint64]bool),
 	}
 
@@ -335,7 +367,7 @@ func New(cfg Config) (*System, error) {
 			NodeID:           nodeID,
 			Profile:          box.Profile(),
 			ControllerKey:    pub,
-			DialController:   s.dialer(linkCfg, "controller", ctrl.ServeNode),
+			DialController:   s.dialer(linkCfg, "controller", s.serveController),
 			DialBackend:      s.dialer(linkCfg, "backend", be.Serve),
 			Registry:         reg,
 			TaskDuration:     box.TaskDuration,
@@ -383,6 +415,124 @@ func (f *faultyHeadEnd) Update(files []dsmcc.File) error {
 		return errors.New("system: injected head-end update failure")
 	}
 	return f.inner.Update(files)
+}
+
+// serveController is the head-end side of every node's direct channel.
+// Unlike binding Controller.ServeNode at dial time, it resolves the
+// current Controller per message, so node sessions survive a controller
+// crash: while crashed, heartbeats simply go unanswered (the PNA's
+// RecvTimeout tolerates missing replies), and after a restart the same
+// sessions feed the recovered Controller — re-adoption, not re-waking.
+func (s *System) serveController(ep *netsim.Endpoint) {
+	for {
+		pkt, err := ep.Recv()
+		if err != nil {
+			return
+		}
+		raw, ok := pkt.Payload.([]byte)
+		if !ok {
+			continue
+		}
+		hb, err := control.DecodeHeartbeat(raw)
+		if err != nil {
+			continue
+		}
+		ctrl := s.currentController()
+		if ctrl == nil {
+			continue // controller down: the report vanishes, no reply
+		}
+		reply := ctrl.HandleHeartbeat(hb)
+		ep.Send(pkt.From, control.EncodeHeartbeatReply(reply), control.HeartbeatReplyWireSize)
+	}
+}
+
+// currentController returns the live Controller, or nil while crashed.
+func (s *System) currentController() *controller.Controller {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.crashed {
+		return nil
+	}
+	return s.Controller
+}
+
+// CrashController hard-stops the control plane in place, as a killed
+// coordinator process would: maintenance and refresh loops halt, the
+// journal store closes, and heartbeats go unanswered. Everything else
+// — the cycling carousel, AIT repetition, devices, running DVEs, the
+// Backend — stays up, which is exactly the failure split durability is
+// for.
+func (s *System) CrashController() error {
+	s.mu.Lock()
+	if s.store == nil {
+		s.mu.Unlock()
+		return errors.New("system: no StateDir, control plane is not durable")
+	}
+	if s.crashed {
+		s.mu.Unlock()
+		return errors.New("system: controller already crashed")
+	}
+	s.crashed = true
+	ctrl := s.Controller
+	store := s.store
+	s.mu.Unlock()
+	ctrl.Stop()
+	return store.Close()
+}
+
+// resumedHeadEnd adapts an already-cycling head-end for a recovered
+// Controller: its Start maps to Update, since the broadcast never
+// stopped while the control plane was down.
+type resumedHeadEnd struct{ inner controller.HeadEnd }
+
+func (r resumedHeadEnd) Start(files []dsmcc.File) error  { return r.inner.Update(files) }
+func (r resumedHeadEnd) Update(files []dsmcc.File) error { return r.inner.Update(files) }
+
+// RestartController brings the control plane back from the state
+// directory: it reopens the journal store, replays snapshot+journal
+// into a fresh Controller, re-airs the recovered content in one
+// head-end update, and rebinds the Provider's outstanding handles.
+func (s *System) RestartController() error {
+	s.mu.Lock()
+	if !s.crashed {
+		s.mu.Unlock()
+		return errors.New("system: controller is not crashed")
+	}
+	cfg := s.ctrlCfg
+	cfg.Broadcaster = resumedHeadEnd{s.head}
+	cfg.Rng = rand.New(rand.NewSource(s.restartRng.Int63()))
+	s.mu.Unlock()
+
+	store, err := journal.Open(s.cfg.StateDir, journal.Options{Obs: s.cfg.Obs})
+	if err != nil {
+		return err
+	}
+	cfg.Journal = store
+	ctrl, err := controller.New(cfg)
+	if err != nil {
+		store.Close()
+		return err
+	}
+	if err := ctrl.Start(); err != nil {
+		store.Close()
+		return err
+	}
+	s.mu.Lock()
+	s.Controller = ctrl
+	s.store = store
+	s.crashed = false
+	s.mu.Unlock()
+	s.Provider.Rebind(ctrl)
+	return nil
+}
+
+// ContentStats reports the current Controller's head-end content
+// (crash-safe accessor for tests that span a restart).
+func (s *System) ContentStats() (controlFileBytes, carouselFiles, live, destroyedOnAir int) {
+	s.mu.Lock()
+	ctrl := s.Controller
+	s.mu.Unlock()
+	return ctrl.ContentStats()
 }
 
 // dialer builds a Dialer that creates a fresh duplex channel to a
@@ -475,7 +625,10 @@ func (s *System) Shutdown() {
 		box.StopChurn()
 		box.PowerOff()
 	}
-	s.Controller.Stop()
+	s.mu.Lock()
+	ctrl := s.Controller
+	s.mu.Unlock()
+	ctrl.Stop()
 }
 
 // PoweredOn counts live nodes.

@@ -13,6 +13,7 @@ import (
 	"oddci/internal/control"
 	"oddci/internal/core/backend"
 	"oddci/internal/core/instance"
+	"oddci/internal/journal"
 	"oddci/internal/obs"
 	"oddci/internal/simtime"
 	"oddci/internal/workload"
@@ -43,16 +44,26 @@ type CoordinatorConfig struct {
 	// heartbeat (while nodes are connected) before the heartbeat-silence
 	// health check fails (default 3× HeartbeatPeriod).
 	HeartbeatSilence time.Duration
+	// StateDir, if set, makes the coordinator durable across restarts:
+	// the signing key persists (nodes keep verifying the same identity,
+	// unless Key is given explicitly) and the wakeup sequence resumes
+	// past its pre-crash value, so nodes that already evaluated the old
+	// broadcast re-evaluate the new one instead of ignoring a replayed
+	// seq.
+	StateDir string
 }
 
 // Coordinator is the listening process.
 type Coordinator struct {
-	cfg     CoordinatorConfig
-	ln      net.Listener
-	pub     ed25519.PublicKey
-	be      *backend.Backend
-	control []byte
-	image   ImageFile
+	cfg       CoordinatorConfig
+	ln        net.Listener
+	pub       ed25519.PublicKey
+	be        *backend.Backend
+	control   []byte
+	image     ImageFile
+	store     *journal.Store
+	seq       uint32
+	recovered bool
 
 	mu         sync.Mutex
 	closed     bool
@@ -78,6 +89,32 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	if cfg.HeartbeatPeriod <= 0 {
 		cfg.HeartbeatPeriod = 10 * time.Second
 	}
+	// Durable identity and sequence continuity.
+	var (
+		store   *journal.Store
+		state   *journal.State
+		prevRec *journal.InstanceRecord
+	)
+	if cfg.StateDir != "" {
+		if cfg.Key == nil {
+			key, err := journal.LoadOrCreateKey(cfg.StateDir)
+			if err != nil {
+				return nil, err
+			}
+			cfg.Key = key
+		}
+		var err error
+		store, err = journal.Open(cfg.StateDir, journal.Options{})
+		if err != nil {
+			return nil, err
+		}
+		state, err = store.Load()
+		if err != nil {
+			store.Close()
+			return nil, err
+		}
+		prevRec = state.Instances[1]
+	}
 	if cfg.Key == nil {
 		_, key, err := ed25519.GenerateKey(rand.Reader)
 		if err != nil {
@@ -87,12 +124,23 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	}
 	imgRaw, err := cfg.Image.Encode()
 	if err != nil {
+		if store != nil {
+			store.Close()
+		}
 		return nil, err
 	}
 	digest := appimage.DigestOf(imgRaw)
+	// Resume one past the recorded sequence: nodes that already
+	// evaluated the pre-crash wakeup evaluate this one afresh.
+	seq := uint32(1)
+	var wakeups uint32 = 1
+	if prevRec != nil {
+		seq = prevRec.Seq + 1
+		wakeups = prevRec.Wakeups + 1
+	}
 	wakeup := &control.Wakeup{
 		InstanceID:      1,
-		Seq:             1,
+		Seq:             seq,
 		Probability:     cfg.Probability,
 		Requirements:    cfg.Requirements,
 		ImageFile:       "image.1",
@@ -101,7 +149,40 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	}
 	ctrlFile, err := control.SignWakeup(wakeup, cfg.Key)
 	if err != nil {
+		if store != nil {
+			store.Close()
+		}
 		return nil, err
+	}
+	if store != nil {
+		rec := journal.InstanceRecord{
+			ID:              1,
+			Seq:             seq,
+			Wakeups:         wakeups,
+			Probability:     cfg.Probability,
+			Target:          1,
+			HeartbeatPeriod: cfg.HeartbeatPeriod,
+			Requirements:    cfg.Requirements,
+			ImageFile:       "image.1",
+			Image:           imgRaw,
+		}
+		if prevRec == nil {
+			if err := store.Append(journal.Record{Op: journal.OpCreate, Inst: rec}); err != nil {
+				store.Close()
+				return nil, err
+			}
+		} else {
+			// Restarted: compact to a one-record snapshot carrying the
+			// bumped sequence (and the possibly-updated image).
+			st := journal.NewState()
+			st.NextID = 2
+			st.Instances[1] = &rec
+			st.Order = []uint64{1}
+			if err := store.Compact(st); err != nil {
+				store.Close()
+				return nil, err
+			}
+		}
 	}
 	if cfg.HeartbeatSilence <= 0 {
 		cfg.HeartbeatSilence = 3 * cfg.HeartbeatPeriod
@@ -117,6 +198,9 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	}
 	ln, err := net.Listen("tcp", cfg.Listen)
 	if err != nil {
+		if store != nil {
+			store.Close()
+		}
 		return nil, err
 	}
 	c := &Coordinator{
@@ -126,6 +210,9 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		be:        be,
 		control:   ctrlFile,
 		image:     ImageFile{Name: "image.1", Data: imgRaw},
+		store:     store,
+		seq:       seq,
+		recovered: prevRec != nil,
 		NodesSeen: make(map[uint64]bool),
 	}
 	c.instrument(cfg.Obs)
@@ -165,6 +252,14 @@ func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
 
 // PublicKey returns the Controller key nodes should pin.
 func (c *Coordinator) PublicKey() ed25519.PublicKey { return c.pub }
+
+// Seq returns the wakeup sequence on the wire (bumped past the recorded
+// one after a StateDir restart).
+func (c *Coordinator) Seq() uint32 { return c.seq }
+
+// Recovered reports whether this coordinator resumed from a StateDir
+// written by a previous run.
+func (c *Coordinator) Recovered() bool { return c.recovered }
 
 // Backend exposes the scheduler for job submission.
 func (c *Coordinator) Backend() *backend.Backend { return c.be }
@@ -209,6 +304,9 @@ func (c *Coordinator) Close() {
 	c.closed = true
 	c.mu.Unlock()
 	c.ln.Close()
+	if c.store != nil {
+		c.store.Close()
+	}
 }
 
 // Drain closes the listener and waits up to d for active node sessions

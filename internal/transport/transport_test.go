@@ -247,3 +247,57 @@ func TestCoordinatorDrain(t *testing.T) {
 	coord.Drain(5 * time.Second) // returns once the session ended
 	coord.Drain(time.Second)     // idempotent
 }
+
+// TestCoordinatorRestartKeepsIdentity: a coordinator restarted on the
+// same state dir must sign with the same key and resume past the
+// recorded wakeup sequence, so nodes that already evaluated the old
+// broadcast re-evaluate the new one instead of ignoring a replayed seq.
+func TestCoordinatorRestartKeepsIdentity(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := NewCoordinator(CoordinatorConfig{
+		Listen: "127.0.0.1:0", Image: testImage(), StateDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Recovered() {
+		t.Fatal("fresh state dir reported recovered")
+	}
+	if c1.Seq() != 1 {
+		t.Fatalf("fresh seq = %d, want 1", c1.Seq())
+	}
+	pub := c1.PublicKey()
+	c1.Close()
+
+	c2, err := NewCoordinator(CoordinatorConfig{
+		Listen: "127.0.0.1:0", Image: testImage(), StateDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if !c2.Recovered() {
+		t.Fatal("restart on populated state dir did not recover")
+	}
+	if !c2.PublicKey().Equal(pub) {
+		t.Fatal("restarted coordinator changed identity")
+	}
+	if c2.Seq() != 2 {
+		t.Fatalf("restarted seq = %d, want 2 (bumped past the recorded wakeup)", c2.Seq())
+	}
+
+	// A pinned node still verifies the restarted coordinator.
+	go c2.Serve()
+	if _, err := c2.Submit(testJob(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunNode(NodeConfig{
+		Addr: c2.Addr(), NodeID: 1, TimeScale: 200, Seed: 3, PinnedKey: pub,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Joined || rep.TasksDone != 2 {
+		t.Fatalf("node against restarted coordinator: %+v", rep)
+	}
+}

@@ -187,6 +187,11 @@ type Options struct {
 	// MetricsJSON, MetricsText, and servable over HTTP with
 	// MetricsHandler.
 	Metrics bool
+	// StateDir, if set, makes the control plane durable: the Controller
+	// journals instance lifecycle mutations there and CrashController /
+	// RestartController exercise a hard stop plus snapshot+journal
+	// recovery while the carousel and devices keep running.
+	StateDir string
 }
 
 // System is an assembled OddCI-DTV deployment.
@@ -238,6 +243,7 @@ func New(opts Options) (*System, error) {
 		Transport:         transport,
 		Trace:             tracer,
 		Obs:               reg,
+		StateDir:          opts.StateDir,
 	})
 	if err != nil {
 		return nil, err
@@ -350,8 +356,20 @@ func (s *System) STBs() []*STB { return s.sys.STBs }
 // current Controller state: control-file bytes, carousel file count,
 // live instances, and destroyed instances whose reset is still on air.
 func (s *System) ContentStats() (controlFileBytes, carouselFiles, live, destroyedOnAir int) {
-	return s.sys.Controller.ContentStats()
+	return s.sys.ContentStats()
 }
+
+// CrashController hard-stops the control plane in place, as a killed
+// coordinator process would: loops halt, the journal closes, heartbeats
+// go unanswered. The carousel, devices, running DVEs, and Backend stay
+// up. Requires Options.StateDir.
+func (s *System) CrashController() error { return s.sys.CrashController() }
+
+// RestartController brings the control plane back from Options.StateDir
+// by replaying its snapshot+journal: the recovered Controller re-airs
+// the recorded instances and re-adopts surviving members from their
+// next heartbeat instead of re-waking them.
+func (s *System) RestartController() error { return s.sys.RestartController() }
 
 // After schedules fn at now+d on the deployment's clock.
 func (s *System) After(d time.Duration, fn func()) { s.clk.AfterFunc(d, fn) }
