@@ -27,8 +27,9 @@ race:
 
 ## cover: enforce per-package coverage floors — the observability layer
 ## (obs registry/exposition, trace recorder), the Controller (lifecycle
-## plus crash recovery), and the journal persistence layer.
-COVER_PKGS ?= ./internal/obs:85 ./internal/trace:85 ./internal/core/controller:85 ./internal/journal:78
+## plus crash recovery), the journal persistence layer, and the Backend
+## scheduler (dispatch, lease reclaim, draining).
+COVER_PKGS ?= ./internal/obs:85 ./internal/trace:85 ./internal/core/controller:85 ./internal/journal:78 ./internal/core/backend:80
 cover:
 	@for entry in $(COVER_PKGS); do \
 		pkg="$${entry%%:*}"; floor="$${entry##*:}"; \

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"oddci/internal/core/backend"
+	"oddci/internal/simtime"
+	"oddci/internal/workload"
+)
+
+// backendBenchResult is one row of BENCH_backend.json.
+type backendBenchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+func backendJob(n int) *workload.Job {
+	tasks := make([]workload.Task, n)
+	for i := range tasks {
+		tasks[i] = workload.Task{ID: i, InputBytes: 64, OutputBytes: 32, STBSeconds: 1}
+	}
+	return &workload.Job{Name: "bench", Tasks: tasks}
+}
+
+// backendUnderTest builds a real-clock backend with tasks queued,
+// submitted as jobs of at most 100k tasks each.
+func backendUnderTest(tasks int) (*backend.Backend, error) {
+	be, err := backend.New(backend.Config{Clock: simtime.NewReal(), LeaseBase: time.Hour})
+	if err != nil {
+		return nil, err
+	}
+	submitted := 0
+	for submitted < tasks {
+		n := tasks - submitted
+		if n > 100_000 {
+			n = 100_000
+		}
+		if _, err := be.Submit(backendJob(n)); err != nil {
+			return nil, err
+		}
+		submitted += n
+	}
+	return be, nil
+}
+
+// The three harnesses mirror the Benchmark* functions in
+// internal/core/backend/bench_test.go so `go test -bench` and this
+// command report the same paths. starved flags a dispatch that came up
+// empty despite a pending backlog, which invalidates the measurement.
+
+func benchDispatch(starved *atomic.Bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		const floor = 10_000
+		be, err := backendUnderTest(b.N + floor)
+		if err != nil {
+			starved.Store(true)
+			return
+		}
+		var nodeSeq atomic.Uint64
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			node := nodeSeq.Add(1)
+			for pb.Next() {
+				if _, ok := be.HandleRequest(&backend.TaskRequest{NodeID: node}).(*backend.TaskAssign); !ok {
+					starved.Store(true)
+					return
+				}
+			}
+		})
+	}
+}
+
+func benchResult(starved *atomic.Bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		be, err := backendUnderTest(b.N)
+		if err != nil {
+			starved.Store(true)
+			return
+		}
+		assigns := make([]*backend.TaskAssign, 0, b.N)
+		for i := 0; i < b.N; i++ {
+			a, ok := be.HandleRequest(&backend.TaskRequest{NodeID: uint64(i%4096 + 1)}).(*backend.TaskAssign)
+			if !ok {
+				starved.Store(true)
+				return
+			}
+			assigns = append(assigns, a)
+		}
+		var next atomic.Int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				i := next.Add(1) - 1
+				a := assigns[i]
+				be.HandleResult(&backend.TaskResult{NodeID: uint64(i%4096 + 1),
+					JobID: a.JobID, TaskID: a.TaskID, Payload: []byte("r")})
+			}
+		})
+	}
+}
+
+func benchEndToEnd(starved *atomic.Bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		be, err := backendUnderTest(((b.N / 100_000) + 1) * 100_000)
+		if err != nil {
+			starved.Store(true)
+			return
+		}
+		var nodeSeq atomic.Uint64
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			node := nodeSeq.Add(1)
+			for pb.Next() {
+				a, ok := be.HandleRequest(&backend.TaskRequest{NodeID: node}).(*backend.TaskAssign)
+				if !ok {
+					starved.Store(true)
+					return
+				}
+				be.HandleResult(&backend.TaskResult{NodeID: node, JobID: a.JobID,
+					TaskID: a.TaskID, Payload: []byte("r")})
+			}
+		})
+	}
+}
+
+// sweepBackend benchmarks the scheduler hot paths, writes
+// BENCH_backend.json (or -out) for regression tracking, and mirrors the
+// numbers as CSV on stdout like the other sweeps.
+func sweepBackend(w *csv.Writer, outPath string) error {
+	if err := w.Write([]string{"bench", "ns_per_op", "ops_per_sec", "allocs_per_op", "bytes_per_op"}); err != nil {
+		return err
+	}
+	benches := []struct {
+		name string
+		fn   func(*atomic.Bool) func(b *testing.B)
+	}{
+		{"dispatch_parallel_10k_backlog", benchDispatch},
+		{"result_parallel", benchResult},
+		{"e2e_throughput_100k", benchEndToEnd},
+	}
+	var results []backendBenchResult
+	for _, bench := range benches {
+		var starved atomic.Bool
+		r := testing.Benchmark(bench.fn(&starved))
+		if starved.Load() {
+			return fmt.Errorf("backend bench %s: dispatch starved with pending backlog", bench.name)
+		}
+		if r.N == 0 || r.T <= 0 {
+			return fmt.Errorf("backend bench %s: no iterations recorded", bench.name)
+		}
+		res := backendBenchResult{
+			Name:        bench.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			OpsPerSec:   float64(r.N) / r.T.Seconds(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		results = append(results, res)
+		row := []string{res.Name, f(res.NsPerOp), f(res.OpsPerSec),
+			fmt.Sprintf("%d", res.AllocsPerOp), fmt.Sprintf("%d", res.BytesPerOp)}
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	blob, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	return os.WriteFile(outPath, blob, 0o644)
+}

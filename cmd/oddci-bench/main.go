@@ -5,6 +5,13 @@
 //	oddci-bench -sweep fig7  > fig7.csv
 //	oddci-bench -sweep table1 > table1.csv
 //	oddci-bench -sweep churn  > churn.csv
+//
+// The backend sweep instead benchmarks the scheduler hot paths
+// (dispatch, result commit, end-to-end round trips) and writes a JSON
+// regression gate with ops/sec and allocs/op per path, mirrored as CSV
+// on stdout:
+//
+//	oddci-bench -sweep backend -out BENCH_backend.json
 package main
 
 import (
@@ -24,9 +31,10 @@ import (
 
 func main() {
 	var (
-		sweep = flag.String("sweep", "fig6", "one of fig6, fig7, table1, churn")
+		sweep = flag.String("sweep", "fig6", "one of fig6, fig7, table1, churn, backend")
 		seed  = flag.Int64("seed", 2009, "random seed")
 		nodes = flag.Int("nodes", 200, "DES population for validated sweeps")
+		out   = flag.String("out", "BENCH_backend.json", "output file for the backend sweep's JSON gate")
 	)
 	flag.Parse()
 	w := csv.NewWriter(os.Stdout)
@@ -40,6 +48,8 @@ func main() {
 		err = sweepTable1(w)
 	case "churn":
 		err = sweepChurn(w, *seed, *nodes)
+	case "backend":
+		err = sweepBackend(w, *out)
 	default:
 		err = fmt.Errorf("unknown sweep %q", *sweep)
 	}

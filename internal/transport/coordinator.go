@@ -34,6 +34,11 @@ type CoordinatorConfig struct {
 	Requirements instance.Requirements
 	// HeartbeatPeriod instructs the nodes (default 10 s).
 	HeartbeatPeriod time.Duration
+	// Clock drives the backend's lease timestamps and the coordinator's
+	// heartbeat bookkeeping (default wall clock). Injecting a simulated
+	// clock keeps transport timestamps consistent with simtime-driven
+	// tests.
+	Clock simtime.Clock
 	// Key signs control frames; generated if nil.
 	Key ed25519.PrivateKey
 	// Obs, if set, collects coordinator and backend telemetry
@@ -88,6 +93,9 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	}
 	if cfg.HeartbeatPeriod <= 0 {
 		cfg.HeartbeatPeriod = 10 * time.Second
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = simtime.NewReal()
 	}
 	// Durable identity and sequence continuity.
 	var (
@@ -188,7 +196,7 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		cfg.HeartbeatSilence = 3 * cfg.HeartbeatPeriod
 	}
 	be, err := backend.New(backend.Config{
-		Clock:      simtime.NewReal(),
+		Clock:      cfg.Clock,
 		RetryAfter: time.Second,
 		LeaseBase:  30 * time.Second,
 		Obs:        cfg.Obs,
@@ -240,7 +248,7 @@ func (c *Coordinator) instrument(reg *obs.Registry) {
 		if seen == 0 || last.IsZero() {
 			return nil
 		}
-		if silent := time.Since(last); silent > c.cfg.HeartbeatSilence {
+		if silent := c.cfg.Clock.Now().Sub(last); silent > c.cfg.HeartbeatSilence {
 			return fmt.Errorf("no heartbeat for %v (limit %v)", silent.Round(time.Millisecond), c.cfg.HeartbeatSilence)
 		}
 		return nil
@@ -370,7 +378,7 @@ func (c *Coordinator) session(conn net.Conn) {
 			}
 			c.mu.Lock()
 			c.Heartbeats++
-			c.lastBeat = time.Now()
+			c.lastBeat = c.cfg.Clock.Now()
 			c.mu.Unlock()
 			c.metHeartbeats.Inc()
 			reply := control.EncodeHeartbeatReply(&control.HeartbeatReply{Command: control.CmdNone})

@@ -14,6 +14,7 @@ import (
 	"oddci/internal/appimage"
 	"oddci/internal/control"
 	"oddci/internal/core/instance"
+	"oddci/internal/simtime"
 	"oddci/internal/stb"
 )
 
@@ -37,6 +38,9 @@ type NodeConfig struct {
 	// PinnedKey, if set, must match the coordinator's banner key
 	// (otherwise trust-on-first-use).
 	PinnedKey ed25519.PublicKey
+	// Clock stamps outgoing heartbeats (default wall clock), so
+	// transport timestamps agree with simtime-driven tests.
+	Clock simtime.Clock
 	// Seed drives the probability draw.
 	Seed int64
 }
@@ -59,6 +63,9 @@ func RunNode(cfg NodeConfig) (report NodeReport, err error) {
 	}
 	if cfg.Profile == (instance.DeviceProfile{}) {
 		cfg.Profile = instance.DeviceProfile{Class: instance.ClassSTB, MemMB: 256, CPUScore: 100}
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = simtime.NewReal()
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed ^ int64(cfg.NodeID)))
 
@@ -166,7 +173,7 @@ func RunNode(cfg NodeConfig) (report NodeReport, err error) {
 				hb := &control.Heartbeat{
 					NodeID: cfg.NodeID, State: control.StateBusy,
 					InstanceID: wakeup.InstanceID, Profile: cfg.Profile,
-					SentAt: time.Now(),
+					SentAt: cfg.Clock.Now(),
 				}
 				if err := send(FrameHeartbeat, control.EncodeHeartbeat(hb)); err != nil {
 					return

@@ -11,6 +11,7 @@ import (
 
 	"oddci/internal/appimage"
 	"oddci/internal/core/instance"
+	"oddci/internal/simtime"
 	"oddci/internal/workload"
 )
 
@@ -299,5 +300,60 @@ func TestCoordinatorRestartKeepsIdentity(t *testing.T) {
 	}
 	if !rep.Joined || rep.TasksDone != 2 {
 		t.Fatalf("node against restarted coordinator: %+v", rep)
+	}
+}
+
+// TestInjectedClockStampsTransport runs a loopback deployment with a
+// frozen Sim clock injected into both sides. Network I/O and tickers
+// still run on wall time, but every timestamp the transport records
+// must come from the injected clock: the coordinator's last-heartbeat
+// mark has to equal the sim epoch exactly, which wall-clock time.Now()
+// could never produce.
+func TestInjectedClockStampsTransport(t *testing.T) {
+	epoch := time.Date(2030, 6, 1, 12, 0, 0, 0, time.UTC)
+	clk := simtime.NewSim(epoch)
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Listen:          "127.0.0.1:0",
+		Name:            "clock-test",
+		Image:           testImage(),
+		HeartbeatPeriod: 5 * time.Second,
+		Clock:           clk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	go coord.Serve()
+
+	h, err := coord.Submit(testJob(t, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunNode(NodeConfig{
+		Addr:      coord.Addr(),
+		NodeID:    1,
+		TimeScale: 200,
+		Seed:      9,
+		PinnedKey: coord.PublicKey(),
+		Clock:     clk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Joined {
+		t.Fatal("node never joined")
+	}
+	if rep.Heartbeats == 0 {
+		t.Fatal("node sent no heartbeats; nothing to assert on")
+	}
+	if _, done := h.Done(); !done {
+		t.Fatal("job incomplete")
+	}
+
+	coord.mu.Lock()
+	last := coord.lastBeat
+	coord.mu.Unlock()
+	if !last.Equal(epoch) {
+		t.Fatalf("coordinator lastBeat = %v, want sim epoch %v (heartbeat timestamps must come from the configured clock)", last, epoch)
 	}
 }
