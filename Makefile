@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet test race build cover
+.PHONY: check fmt vet test race build cover bench-transport
 
 ## check: the full tier-1 gate — formatting, vet, build, tests with the
 ## race detector (the lifecycle churn stress must pass under -race),
@@ -27,9 +27,10 @@ race:
 
 ## cover: enforce per-package coverage floors — the observability layer
 ## (obs registry/exposition, trace recorder), the Controller (lifecycle
-## plus crash recovery), the journal persistence layer, and the Backend
-## scheduler (dispatch, lease reclaim, draining).
-COVER_PKGS ?= ./internal/obs:85 ./internal/trace:85 ./internal/core/controller:85 ./internal/journal:78 ./internal/core/backend:80
+## plus crash recovery), the journal persistence layer, the Backend
+## scheduler (dispatch, lease reclaim, draining), and the transport
+## fast path (framing, binary codec, coordinator/node loops).
+COVER_PKGS ?= ./internal/obs:85 ./internal/trace:85 ./internal/core/controller:85 ./internal/journal:78 ./internal/core/backend:80 ./internal/transport:75
 cover:
 	@for entry in $(COVER_PKGS); do \
 		pkg="$${entry%%:*}"; floor="$${entry##*:}"; \
@@ -41,3 +42,9 @@ cover:
 		fi; \
 		echo "$$pkg: coverage $$pct% (floor $$floor%)"; \
 	done
+
+## bench-transport: regenerate the transport fast-path regression gate
+## (BENCH_transport.json) — fails if the broadcast encode counter is not
+## flat in session count or the binary codec's alloc win drops below 2x.
+bench-transport:
+	$(GO) run ./cmd/oddci-bench -sweep transport -out BENCH_transport.json

@@ -12,6 +12,14 @@
 // on stdout:
 //
 //	oddci-bench -sweep backend -out BENCH_backend.json
+//
+// The transport sweep benchmarks the TCP fast path over loopback
+// (broadcast staging, heartbeat round trips, task hand-offs in both
+// codecs) and enforces two invariants: the broadcast encode counter
+// stays flat from 1 to 100 sessions, and the binary task plane cuts
+// allocs per hand-off at least 2x versus the JSON baseline:
+//
+//	oddci-bench -sweep transport -out BENCH_transport.json
 package main
 
 import (
@@ -31,10 +39,10 @@ import (
 
 func main() {
 	var (
-		sweep = flag.String("sweep", "fig6", "one of fig6, fig7, table1, churn, backend")
+		sweep = flag.String("sweep", "fig6", "one of fig6, fig7, table1, churn, backend, transport")
 		seed  = flag.Int64("seed", 2009, "random seed")
 		nodes = flag.Int("nodes", 200, "DES population for validated sweeps")
-		out   = flag.String("out", "BENCH_backend.json", "output file for the backend sweep's JSON gate")
+		out   = flag.String("out", "", "output file for the backend/transport sweeps' JSON gate (default BENCH_<sweep>.json)")
 	)
 	flag.Parse()
 	w := csv.NewWriter(os.Stdout)
@@ -49,7 +57,15 @@ func main() {
 	case "churn":
 		err = sweepChurn(w, *seed, *nodes)
 	case "backend":
+		if *out == "" {
+			*out = "BENCH_backend.json"
+		}
 		err = sweepBackend(w, *out)
+	case "transport":
+		if *out == "" {
+			*out = "BENCH_transport.json"
+		}
+		err = sweepTransport(w, *out)
 	default:
 		err = fmt.Errorf("unknown sweep %q", *sweep)
 	}

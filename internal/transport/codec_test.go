@@ -1,0 +1,266 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTaskPlaneCodecRoundTrip(t *testing.T) {
+	reqs := []TaskRequestMsg{{}, {NodeID: 1}, {NodeID: ^uint64(0)}}
+	for _, in := range reqs {
+		var out TaskRequestMsg
+		if err := DecodeTaskRequest(AppendTaskRequest(nil, &in), &out); err != nil {
+			t.Fatalf("request %+v: %v", in, err)
+		}
+		if out != in {
+			t.Fatalf("request round trip: %+v != %+v", out, in)
+		}
+	}
+	assigns := []TaskAssignMsg{
+		{},
+		{JobID: 3, TaskID: 77, RefSeconds: 2.5, OutputSize: 64},
+		{JobID: -1, TaskID: -9, RefSeconds: 0.001, OutputSize: 1 << 30, Payload: []byte("in")},
+	}
+	for _, in := range assigns {
+		raw := AppendTaskAssign(nil, &in)
+		var out TaskAssignMsg
+		if err := DecodeTaskAssign(raw, &out); err != nil {
+			t.Fatalf("assign %+v: %v", in, err)
+		}
+		if out.JobID != in.JobID || out.TaskID != in.TaskID ||
+			out.RefSeconds != in.RefSeconds || out.OutputSize != in.OutputSize ||
+			!bytes.Equal(out.Payload, in.Payload) {
+			t.Fatalf("assign round trip: %+v != %+v", out, in)
+		}
+		// The decoded payload must not alias the wire buffer (frame
+		// buffers are reused).
+		if len(raw) > 36 {
+			raw[len(raw)-1] ^= 0xFF
+			if bytes.Equal(out.Payload, raw[36:]) {
+				t.Fatal("decoded payload aliases the frame buffer")
+			}
+		}
+	}
+	noTasks := []NoTaskMsg{{}, {RetryAfterMS: 1500}, {Done: true}, {RetryAfterMS: -1, Done: true}}
+	for _, in := range noTasks {
+		var out NoTaskMsg
+		if err := DecodeNoTask(AppendNoTask(nil, &in), &out); err != nil {
+			t.Fatalf("no-task %+v: %v", in, err)
+		}
+		if out != in {
+			t.Fatalf("no-task round trip: %+v != %+v", out, in)
+		}
+	}
+	results := []TaskResultMsg{
+		{},
+		{NodeID: 8, JobID: 1, TaskID: 2, Payload: []byte("out")},
+	}
+	for _, in := range results {
+		var out TaskResultMsg
+		if err := DecodeTaskResult(AppendTaskResult(nil, &in), &out); err != nil {
+			t.Fatalf("result %+v: %v", in, err)
+		}
+		if out.NodeID != in.NodeID || out.JobID != in.JobID ||
+			out.TaskID != in.TaskID || !bytes.Equal(out.Payload, in.Payload) {
+			t.Fatalf("result round trip: %+v != %+v", out, in)
+		}
+	}
+}
+
+func TestTaskPlaneCodecRejectsMalformed(t *testing.T) {
+	good := AppendTaskAssign(nil, &TaskAssignMsg{JobID: 1, Payload: []byte("abc")})
+	cases := [][]byte{
+		nil,
+		{1, 2, 3},
+		good[:len(good)-1],                    // truncated payload
+		append(good[:len(good):len(good)], 0), // trailing byte
+	}
+	for i, b := range cases {
+		var a TaskAssignMsg
+		if err := DecodeTaskAssign(b, &a); err == nil {
+			t.Errorf("case %d: malformed assign accepted", i)
+		}
+		var r TaskResultMsg
+		if err := DecodeTaskResult(b, &r); err == nil && len(b) >= 28 {
+			t.Errorf("case %d: malformed result accepted", i)
+		}
+	}
+	var req TaskRequestMsg
+	if err := DecodeTaskRequest([]byte{1, 2, 3}, &req); err == nil {
+		t.Error("short request accepted")
+	}
+	if err := DecodeTaskRequest(make([]byte, 9), &req); err == nil {
+		t.Error("long request accepted")
+	}
+	var nt NoTaskMsg
+	if err := DecodeNoTask(make([]byte, 8), &nt); err == nil {
+		t.Error("short no-task accepted")
+	}
+	if err := DecodeNoTask([]byte{0, 0, 0, 0, 0, 0, 0, 0, 7}, &nt); err == nil {
+		t.Error("no-task with junk done byte accepted")
+	}
+}
+
+// Property: the binary codec is canonical — decode(encode(m)) == m for
+// arbitrary messages, and every accepted input re-encodes bit-exactly.
+func TestTaskAssignCodecProperty(t *testing.T) {
+	f := func(job, task int32, ref float64, outSize int32, payload []byte) bool {
+		in := TaskAssignMsg{JobID: int(job), TaskID: int(task),
+			RefSeconds: ref, OutputSize: int(outSize), Payload: payload}
+		raw := AppendTaskAssign(nil, &in)
+		var out TaskAssignMsg
+		if err := DecodeTaskAssign(raw, &out); err != nil {
+			return false
+		}
+		return bytes.Equal(AppendTaskAssign(nil, &out), raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBeginEndFrame(t *testing.T) {
+	b := BeginFrame(nil, FrameTaskRequestBin)
+	b = AppendTaskRequest(b, &TaskRequestMsg{NodeID: 42})
+	b, err := EndFrame(b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := ReadFrame(bytes.NewReader(b))
+	if err != nil || typ != FrameTaskRequestBin {
+		t.Fatalf("typ=%d err=%v", typ, err)
+	}
+	var req TaskRequestMsg
+	if err := DecodeTaskRequest(payload, &req); err != nil || req.NodeID != 42 {
+		t.Fatalf("req=%+v err=%v", req, err)
+	}
+	// AppendFrame produces identical bytes.
+	alt, err := AppendFrame(nil, FrameTaskRequestBin, payload)
+	if err != nil || !bytes.Equal(alt, b) {
+		t.Fatalf("AppendFrame mismatch: %x vs %x (err=%v)", alt, b, err)
+	}
+	if _, err := EndFrame([]byte{1}, 0); err == nil {
+		t.Fatal("EndFrame on a headerless buffer accepted")
+	}
+}
+
+// FrameReader must agree with ReadFrame on any frame sequence while
+// reusing one pooled payload buffer.
+func TestFrameReaderSequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var buf bytes.Buffer
+	type frame struct {
+		t FrameType
+		p []byte
+	}
+	var frames []frame
+	for i := 0; i < 50; i++ {
+		p := make([]byte, rng.Intn(3000))
+		rng.Read(p)
+		fr := frame{FrameType(rng.Intn(14) + 1), p}
+		frames = append(frames, fr)
+		if err := WriteFrame(&buf, fr.t, fr.p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fr := NewFrameReader(&buf)
+	defer fr.Close()
+	for i, want := range frames {
+		typ, p, err := fr.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if typ != want.t || !bytes.Equal(p, want.p) {
+			t.Fatalf("frame %d mismatch", i)
+		}
+	}
+	if _, _, err := fr.Next(); err == nil {
+		t.Fatal("Next past the end succeeded")
+	}
+}
+
+// Oversized frames (beyond the pool cap) must still read correctly via
+// a one-shot buffer, and count as pool misses.
+func TestFrameReaderOversizedPayload(t *testing.T) {
+	big := make([]byte, poolBufCap+poolBufCap/2)
+	rand.New(rand.NewSource(3)).Read(big)
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, FrameImage, big); err != nil {
+		t.Fatal(err)
+	}
+	WriteFrame(&buf, FrameHello, []byte("after"))
+	_, m0 := FramePoolStats()
+	fr := NewFrameReader(&buf)
+	defer fr.Close()
+	typ, p, err := fr.Next()
+	if err != nil || typ != FrameImage || !bytes.Equal(p, big) {
+		t.Fatalf("typ=%d err=%v equal=%v", typ, err, bytes.Equal(p, big))
+	}
+	if _, m1 := FramePoolStats(); m1 == m0 {
+		t.Fatal("oversized payload did not count as a pool miss")
+	}
+	typ, p, err = fr.Next()
+	if err != nil || typ != FrameHello || string(p) != "after" {
+		t.Fatalf("frame after oversized payload: typ=%d p=%q err=%v", typ, p, err)
+	}
+	// The oversized reader must still reject frames above MaxFrame.
+	var huge bytes.Buffer
+	huge.Write([]byte{byte(FrameImage), 0xFF, 0xFF, 0xFF, 0xFF})
+	fr2 := NewFrameReader(&huge)
+	defer fr2.Close()
+	if _, _, err := fr2.Next(); err != ErrFrameTooLarge {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestNodeSetStriping(t *testing.T) {
+	s := newNodeSet()
+	for i := uint64(0); i < 1000; i++ {
+		if !s.Add(i) {
+			t.Fatalf("first add of %d reported duplicate", i)
+		}
+		if s.Add(i) {
+			t.Fatalf("second add of %d reported new", i)
+		}
+	}
+	if s.Len() != 1000 {
+		t.Fatalf("Len = %d, want 1000", s.Len())
+	}
+	if !s.Has(999) || s.Has(1000) {
+		t.Fatal("membership wrong")
+	}
+}
+
+// Benchmarks: one task hand-off message set through each codec, for
+// `go test -bench TaskCodec` parity with the oddci-bench sweep.
+
+func BenchmarkBinaryTaskCodec(b *testing.B) {
+	assign := TaskAssignMsg{JobID: 1, TaskID: 12345, RefSeconds: 2, OutputSize: 64}
+	var buf []byte
+	var out TaskAssignMsg
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendTaskAssign(buf[:0], &assign)
+		if err := DecodeTaskAssign(buf, &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJSONTaskCodec(b *testing.B) {
+	assign := TaskAssignMsg{JobID: 1, TaskID: 12345, RefSeconds: 2, OutputSize: 64}
+	var out TaskAssignMsg
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		raw, err := json.Marshal(&assign)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := json.Unmarshal(raw, &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

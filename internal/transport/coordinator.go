@@ -1,12 +1,15 @@
 package transport
 
 import (
+	"bufio"
 	"crypto/ed25519"
 	"crypto/rand"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"oddci/internal/appimage"
@@ -41,9 +44,10 @@ type CoordinatorConfig struct {
 	Clock simtime.Clock
 	// Key signs control frames; generated if nil.
 	Key ed25519.PrivateKey
-	// Obs, if set, collects coordinator and backend telemetry
-	// (oddci_coordinator_*, oddci_backend_*) and registers the
-	// heartbeat-silence health check.
+	// Obs, if set, collects coordinator, transport and backend
+	// telemetry (oddci_coordinator_*, oddci_transport_*,
+	// oddci_backend_*) and registers the heartbeat-silence health
+	// check.
 	Obs *obs.Registry
 	// HeartbeatSilence is how long the coordinator tolerates hearing no
 	// heartbeat (while nodes are connected) before the heartbeat-silence
@@ -58,32 +62,122 @@ type CoordinatorConfig struct {
 	StateDir string
 }
 
+// nodeSetShards stripes the distinct-node set so concurrent sessions
+// touch disjoint locks (node IDs hash via SplitMix64).
+const nodeSetShards = 16
+
+type nodeSetShard struct {
+	mu sync.Mutex
+	m  map[uint64]struct{}
+}
+
+// nodeSet is a counted striped set of node IDs: Add contends only on
+// one shard, Len is a single atomic load (O(1) for /metrics scrapes).
+type nodeSet struct {
+	shards [nodeSetShards]nodeSetShard
+	count  atomic.Int64
+}
+
+func newNodeSet() *nodeSet {
+	s := &nodeSet{}
+	for i := range s.shards {
+		s.shards[i].m = make(map[uint64]struct{})
+	}
+	return s
+}
+
+// mix64 is a SplitMix64-style finalizer (same scheme as the backend's
+// stripe locks): cheap, well-distributed bits for shard selection.
+func mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// Add inserts id, reporting whether it was new.
+func (s *nodeSet) Add(id uint64) bool {
+	sh := &s.shards[mix64(id)%nodeSetShards]
+	sh.mu.Lock()
+	_, ok := sh.m[id]
+	if !ok {
+		sh.m[id] = struct{}{}
+	}
+	sh.mu.Unlock()
+	if !ok {
+		s.count.Add(1)
+	}
+	return !ok
+}
+
+// Has reports membership.
+func (s *nodeSet) Has(id uint64) bool {
+	sh := &s.shards[mix64(id)%nodeSetShards]
+	sh.mu.Lock()
+	_, ok := sh.m[id]
+	sh.mu.Unlock()
+	return ok
+}
+
+// Len returns the distinct-node count without touching any shard.
+func (s *nodeSet) Len() int { return int(s.count.Load()) }
+
+// coordMetrics are the transport-plane telemetry handles (all nil-safe
+// when the coordinator runs without a registry).
+type coordMetrics struct {
+	heartbeats *obs.Counter
+	sessions   *obs.Counter
+
+	framesInHB      *obs.Counter
+	framesInTaskReq *obs.Counter
+	framesInTaskRes *obs.Counter
+	framesInOther   *obs.Counter
+	framesOut       *obs.Counter
+	bytesIn         *obs.Counter
+	bytesOut        *obs.Counter
+	broadcastBytes  *obs.Counter
+
+	readLat  *obs.Histogram
+	writeLat *obs.Histogram
+}
+
 // Coordinator is the listening process.
 type Coordinator struct {
 	cfg       CoordinatorConfig
 	ln        net.Listener
 	pub       ed25519.PublicKey
 	be        *backend.Backend
-	control   []byte
-	image     ImageFile
 	store     *journal.Store
 	seq       uint32
 	recovered bool
 
-	mu         sync.Mutex
-	closed     bool
-	Heartbeats int64
-	NodesSeen  map[uint64]bool
-	lastBeat   time.Time
+	// Encode-once broadcast: the banner frame and the staged carousel
+	// (control file + image) are encoded at construction and written
+	// verbatim to every session — per-node cost is a memcpy into the
+	// socket, never a marshal.
+	bannerFrame  []byte
+	broadcast    []byte
+	hbReplyFrame []byte
+	encodeOps    atomic.Int64
 
-	metHeartbeats *obs.Counter
-	metSessions   *obs.Counter
+	// Session accounting: atomics and a striped node set, so heartbeats
+	// from N sessions never serialize on one coordinator-global mutex.
+	heartbeats   atomic.Int64
+	lastBeatNano atomic.Int64
+	nodes        *nodeSet
+
+	mu     sync.Mutex // guards closed only
+	closed bool
+
+	met coordMetrics
 
 	wg sync.WaitGroup
 }
 
 // NewCoordinator binds the listener and prepares the signed control
-// file.
+// file plus the pre-encoded broadcast frames.
 func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	if cfg.Image == nil {
 		return nil, errors.New("transport: coordinator needs an image")
@@ -216,13 +310,48 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		ln:        ln,
 		pub:       cfg.Key.Public().(ed25519.PublicKey),
 		be:        be,
-		control:   ctrlFile,
-		image:     ImageFile{Name: "image.1", Data: imgRaw},
 		store:     store,
 		seq:       seq,
 		recovered: prevRec != nil,
-		NodesSeen: make(map[uint64]bool),
+		nodes:     newNodeSet(),
 	}
+
+	// Encode-once broadcast staging: banner, control file, and image
+	// are marshaled exactly once here, independent of how many
+	// sessions will replay them.
+	bannerRaw, err := json.Marshal(&Banner{ControllerKey: c.pub, Name: cfg.Name, TaskBin: true})
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	if c.bannerFrame, err = AppendFrame(nil, FrameBanner, bannerRaw); err != nil {
+		c.Close()
+		return nil, err
+	}
+	c.encodeOps.Add(1)
+	bcast, err := AppendFrame(nil, FrameControl, ctrlFile)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	c.encodeOps.Add(1)
+	imgJSON, err := json.Marshal(&ImageFile{Name: "image.1", Data: imgRaw})
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	if bcast, err = AppendFrame(bcast, FrameImage, imgJSON); err != nil {
+		c.Close()
+		return nil, err
+	}
+	c.encodeOps.Add(1)
+	c.broadcast = bcast
+	reply := control.EncodeHeartbeatReply(&control.HeartbeatReply{Command: control.CmdNone})
+	if c.hbReplyFrame, err = AppendFrame(nil, FrameHeartbeatReply, reply); err != nil {
+		c.Close()
+		return nil, err
+	}
+
 	c.instrument(cfg.Obs)
 	return c, nil
 }
@@ -230,25 +359,45 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 // instrument registers coordinator telemetry and the heartbeat-silence
 // health check.
 func (c *Coordinator) instrument(reg *obs.Registry) {
-	c.metHeartbeats = reg.Counter("oddci_coordinator_heartbeats_total", "Heartbeat frames received from nodes")
-	c.metSessions = reg.Counter("oddci_coordinator_sessions_total", "Node TCP sessions accepted")
+	c.met = coordMetrics{
+		heartbeats:      reg.Counter("oddci_coordinator_heartbeats_total", "Heartbeat frames received from nodes"),
+		sessions:        reg.Counter("oddci_coordinator_sessions_total", "Node TCP sessions accepted"),
+		framesInHB:      reg.Counter("oddci_transport_frames_in_heartbeat_total", "Heartbeat frames read"),
+		framesInTaskReq: reg.Counter("oddci_transport_frames_in_task_request_total", "Task-request frames read (JSON and binary)"),
+		framesInTaskRes: reg.Counter("oddci_transport_frames_in_task_result_total", "Task-result frames read (JSON and binary)"),
+		framesInOther:   reg.Counter("oddci_transport_frames_in_other_total", "Frames read of any other type"),
+		framesOut:       reg.Counter("oddci_transport_frames_out_total", "Frames written to node sessions"),
+		bytesIn:         reg.Counter("oddci_transport_bytes_in_total", "Frame bytes read from node sessions"),
+		bytesOut:        reg.Counter("oddci_transport_bytes_out_total", "Frame bytes written to node sessions"),
+		broadcastBytes:  reg.Counter("oddci_transport_broadcast_bytes_total", "Pre-encoded broadcast bytes staged to sessions"),
+		readLat:         reg.Histogram("oddci_transport_frame_read_seconds", "Frame payload drain latency after the header arrived", nil),
+		writeLat:        reg.Histogram("oddci_transport_frame_write_seconds", "Session write-flush latency", nil),
+	}
 	if reg == nil {
 		return
 	}
 	reg.GaugeFunc("oddci_coordinator_nodes_seen", "Distinct node IDs that have connected", func() float64 {
-		c.mu.Lock()
-		defer c.mu.Unlock()
-		return float64(len(c.NodesSeen))
+		return float64(c.nodes.Len())
+	})
+	reg.GaugeFunc("oddci_transport_broadcast_encodes", "Broadcast artifacts encoded since start (flat in the session count)", func() float64 {
+		return float64(c.encodeOps.Load())
+	})
+	reg.GaugeFunc("oddci_transport_frame_pool_hits", "Frame buffer requests served within the pool size cap (process-wide)", func() float64 {
+		h, _ := FramePoolStats()
+		return float64(h)
+	})
+	reg.GaugeFunc("oddci_transport_frame_pool_misses", "Frame buffer requests above the pool size cap (process-wide)", func() float64 {
+		_, m := FramePoolStats()
+		return float64(m)
 	})
 	reg.RegisterHealth("heartbeat-silence", func() error {
-		c.mu.Lock()
-		seen := len(c.NodesSeen)
-		last := c.lastBeat
-		c.mu.Unlock()
-		if seen == 0 || last.IsZero() {
+		// Sampled from atomics at one-second granularity: the check
+		// never touches the heartbeat data path.
+		nano := c.lastBeatNano.Load()
+		if c.nodes.Len() == 0 || nano == 0 {
 			return nil
 		}
-		if silent := c.cfg.Clock.Now().Sub(last); silent > c.cfg.HeartbeatSilence {
+		if silent := c.cfg.Clock.Now().Sub(time.Unix(0, nano)); silent > c.cfg.HeartbeatSilence {
 			return fmt.Errorf("no heartbeat for %v (limit %v)", silent.Round(time.Millisecond), c.cfg.HeartbeatSilence)
 		}
 		return nil
@@ -271,6 +420,34 @@ func (c *Coordinator) Recovered() bool { return c.recovered }
 
 // Backend exposes the scheduler for job submission.
 func (c *Coordinator) Backend() *backend.Backend { return c.be }
+
+// HeartbeatCount returns how many heartbeats sessions have consumed.
+func (c *Coordinator) HeartbeatCount() int64 { return c.heartbeats.Load() }
+
+// NodeCount returns the number of distinct node IDs seen, in O(1).
+func (c *Coordinator) NodeCount() int { return c.nodes.Len() }
+
+// SeenNode reports whether a node ID ever connected.
+func (c *Coordinator) SeenNode(id uint64) bool { return c.nodes.Has(id) }
+
+// LastHeartbeat returns the last heartbeat arrival sampled at
+// one-second granularity (zero time before the first beat).
+func (c *Coordinator) LastHeartbeat() time.Time {
+	nano := c.lastBeatNano.Load()
+	if nano == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, nano)
+}
+
+// BroadcastEncodes counts the broadcast artifacts (banner, control
+// file, image) encoded since construction — flat in the number of
+// sessions by design, which the transport bench sweep asserts.
+func (c *Coordinator) BroadcastEncodes() int64 { return c.encodeOps.Load() }
+
+// BroadcastBytes returns the size of the pre-encoded staged broadcast
+// (control + image frames) each joining session receives.
+func (c *Coordinator) BroadcastBytes() int { return len(c.broadcast) }
 
 // Submit enqueues a job and marks the backend draining so nodes go home
 // when it finishes.
@@ -332,78 +509,180 @@ func (c *Coordinator) Drain(d time.Duration) {
 	}
 }
 
-// session runs one node connection.
+// sessionWriteBuf sizes the per-session bufio writer: replies batch
+// here until the session would otherwise block in a read.
+const sessionWriteBuf = 32 << 10
+
+// session runs one node connection. The loop is single-goroutine, so
+// writes need no lock: replies accumulate in the buffered writer and
+// flush right before the session blocks waiting for the next frame —
+// pipelined heartbeats and task hand-offs coalesce into one syscall.
 func (c *Coordinator) session(conn net.Conn) {
-	var wmu sync.Mutex
-	send := func(t FrameType, payload []byte) error {
-		wmu.Lock()
-		defer wmu.Unlock()
-		return WriteFrame(conn, t, payload)
+	bw := bufio.NewWriterSize(conn, sessionWriteBuf)
+	fr := NewFrameReader(conn)
+	defer fr.Close()
+	fr.Instrument(c.met.readLat, c.cfg.Clock)
+
+	flush := func() error {
+		if bw.Buffered() == 0 {
+			return nil
+		}
+		var t0 time.Time
+		if c.met.writeLat != nil {
+			t0 = c.cfg.Clock.Now()
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		if c.met.writeLat != nil {
+			c.met.writeLat.ObserveDuration(c.cfg.Clock.Now().Sub(t0))
+		}
+		return nil
+	}
+
+	// Banner, then the staged "broadcast" after the hello: all three
+	// artifacts are immutable pre-encoded buffers shared by every
+	// session — zero per-node marshaling.
+	if _, err := bw.Write(c.bannerFrame); err != nil {
+		return
+	}
+	c.met.framesOut.Inc()
+	c.met.bytesOut.Add(int64(len(c.bannerFrame)))
+	if err := flush(); err != nil {
+		return
+	}
+	t, payload, err := fr.Next()
+	if err != nil || t != FrameHello {
+		return
+	}
+	c.met.bytesIn.Add(int64(5 + len(payload)))
+	var hello Hello
+	if err := jsonUnmarshal(payload, &hello); err != nil {
+		return
+	}
+	c.nodes.Add(hello.NodeID)
+	c.met.sessions.Inc()
+
+	if _, err := bw.Write(c.broadcast); err != nil {
+		return
+	}
+	c.met.framesOut.Add(2)
+	c.met.bytesOut.Add(int64(len(c.broadcast)))
+	c.met.broadcastBytes.Add(int64(len(c.broadcast)))
+	if err := flush(); err != nil {
+		return
+	}
+
+	// Reused hot-path state: decode targets and the frame build buffer
+	// live for the whole session, so a task hand-off allocates only
+	// what the backend itself does.
+	var (
+		wbuf   []byte
+		binReq TaskRequestMsg
+		binRes TaskResultMsg
+		beReq  backend.TaskRequest
+	)
+	sendBin := func(t FrameType, enc func([]byte) []byte) error {
+		wbuf = BeginFrame(wbuf[:0], t)
+		wbuf = enc(wbuf)
+		var err error
+		if wbuf, err = EndFrame(wbuf, 0); err != nil {
+			return err
+		}
+		_, err = bw.Write(wbuf)
+		c.met.framesOut.Inc()
+		c.met.bytesOut.Add(int64(len(wbuf)))
+		return err
 	}
 	sendJSON := func(t FrameType, v any) error {
-		wmu.Lock()
-		defer wmu.Unlock()
-		return WriteJSON(conn, t, v)
+		raw, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		c.met.framesOut.Inc()
+		c.met.bytesOut.Add(int64(5 + len(raw)))
+		return WriteFrame(bw, t, raw)
 	}
-
-	if err := sendJSON(FrameBanner, &Banner{ControllerKey: c.pub, Name: c.cfg.Name}); err != nil {
-		return
-	}
-	var hello Hello
-	if err := ReadJSON(conn, FrameHello, &hello); err != nil {
-		return
-	}
-	c.mu.Lock()
-	c.NodesSeen[hello.NodeID] = true
-	c.mu.Unlock()
-	c.metSessions.Inc()
-
-	// The "broadcast": signed control file plus the image.
-	if err := send(FrameControl, c.control); err != nil {
-		return
-	}
-	if err := sendJSON(FrameImage, &c.image); err != nil {
-		return
+	reply := func(resp any, bin bool) error {
+		switch m := resp.(type) {
+		case *backend.TaskAssign:
+			out := TaskAssignMsg{JobID: m.JobID, TaskID: m.TaskID,
+				RefSeconds: m.RefSeconds, OutputSize: m.OutputSize, Payload: m.Payload}
+			if bin {
+				return sendBin(FrameTaskAssignBin, func(b []byte) []byte { return AppendTaskAssign(b, &out) })
+			}
+			return sendJSON(FrameTaskAssign, &out)
+		case *backend.NoTask:
+			out := NoTaskMsg{RetryAfterMS: m.RetryAfter.Milliseconds(), Done: m.Done}
+			if bin {
+				return sendBin(FrameNoTaskBin, func(b []byte) []byte { return AppendNoTask(b, &out) })
+			}
+			return sendJSON(FrameNoTask, &out)
+		}
+		return nil
 	}
 
 	for {
-		t, payload, err := ReadFrame(conn)
+		// Flush point: batch replies until the next read would block.
+		if fr.Buffered() == 0 {
+			if err := flush(); err != nil {
+				return
+			}
+		}
+		t, payload, err := fr.Next()
 		if err != nil {
 			return
 		}
+		c.met.bytesIn.Add(int64(5 + len(payload)))
 		switch t {
 		case FrameHeartbeat:
+			c.met.framesInHB.Inc()
 			if _, err := control.DecodeHeartbeat(payload); err != nil {
 				continue
 			}
-			c.mu.Lock()
-			c.Heartbeats++
-			c.lastBeat = c.cfg.Clock.Now()
-			c.mu.Unlock()
-			c.metHeartbeats.Inc()
-			reply := control.EncodeHeartbeatReply(&control.HeartbeatReply{Command: control.CmdNone})
-			if err := send(FrameHeartbeatReply, reply); err != nil {
+			c.heartbeats.Add(1)
+			// One-second-granularity atomic sample (same trick as
+			// Controller.HandleHeartbeat): the silence health check
+			// tolerates minutes, and the load keeps the common case a
+			// read-shared cache line instead of a contended store.
+			if nano := c.cfg.Clock.Now().UnixNano(); nano-c.lastBeatNano.Load() > int64(time.Second) {
+				c.lastBeatNano.Store(nano)
+			}
+			c.met.heartbeats.Inc()
+			if _, err := bw.Write(c.hbReplyFrame); err != nil {
+				return
+			}
+			c.met.framesOut.Inc()
+			c.met.bytesOut.Add(int64(len(c.hbReplyFrame)))
+		case FrameTaskRequestBin:
+			c.met.framesInTaskReq.Inc()
+			if err := DecodeTaskRequest(payload, &binReq); err != nil {
+				continue
+			}
+			beReq.NodeID = binReq.NodeID
+			if err := reply(c.be.HandleRequest(&beReq), true); err != nil {
 				return
 			}
 		case FrameTaskRequest:
+			c.met.framesInTaskReq.Inc()
 			var req TaskRequestMsg
 			if err := unmarshal(payload, &req); err != nil {
 				continue
 			}
-			switch m := c.be.HandleRequest(&backend.TaskRequest{NodeID: req.NodeID}).(type) {
-			case *backend.TaskAssign:
-				out := &TaskAssignMsg{JobID: m.JobID, TaskID: m.TaskID,
-					RefSeconds: m.RefSeconds, OutputSize: m.OutputSize, Payload: m.Payload}
-				if err := sendJSON(FrameTaskAssign, out); err != nil {
-					return
-				}
-			case *backend.NoTask:
-				out := &NoTaskMsg{RetryAfterMS: m.RetryAfter.Milliseconds(), Done: m.Done}
-				if err := sendJSON(FrameNoTask, out); err != nil {
-					return
-				}
+			beReq.NodeID = req.NodeID
+			if err := reply(c.be.HandleRequest(&beReq), false); err != nil {
+				return
 			}
+		case FrameTaskResultBin:
+			c.met.framesInTaskRes.Inc()
+			if err := DecodeTaskResult(payload, &binRes); err != nil {
+				continue
+			}
+			c.be.HandleResult(&backend.TaskResult{
+				NodeID: binRes.NodeID, JobID: binRes.JobID, TaskID: binRes.TaskID, Payload: binRes.Payload,
+			})
 		case FrameTaskResult:
+			c.met.framesInTaskRes.Inc()
 			var res TaskResultMsg
 			if err := unmarshal(payload, &res); err != nil {
 				continue
@@ -413,6 +692,7 @@ func (c *Coordinator) session(conn net.Conn) {
 			})
 		default:
 			// Unknown frames are ignored for forward compatibility.
+			c.met.framesInOther.Inc()
 		}
 	}
 }

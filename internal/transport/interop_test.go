@@ -1,0 +1,249 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"oddci/internal/appimage"
+	"oddci/internal/obs"
+)
+
+// TestMixedVersionInterop runs a legacy JSON-speaking node and a
+// binary-codec node against the same coordinator over real loopback
+// TCP; both must complete their share of one job.
+func TestMixedVersionInterop(t *testing.T) {
+	reg := obs.NewRegistry()
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Listen:          "127.0.0.1:0",
+		Name:            "interop",
+		Image:           testImage(),
+		HeartbeatPeriod: 5 * time.Second,
+		Obs:             reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	go coord.Serve()
+
+	h, err := coord.Submit(testJob(t, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	reports := make([]NodeReport, 2)
+	errs := make([]error, 2)
+	for i, forceJSON := range []bool{true, false} {
+		i, forceJSON := i, forceJSON
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			reports[i], errs[i] = RunNode(NodeConfig{
+				Addr:      coord.Addr(),
+				NodeID:    uint64(i + 1),
+				TimeScale: 200,
+				Seed:      5,
+				PinnedKey: coord.PublicKey(),
+				ForceJSON: forceJSON,
+			})
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v", i+1, err)
+		}
+	}
+	if _, done := h.Done(); !done {
+		t.Fatal("job incomplete")
+	}
+	if reports[0].BinaryTaskPlane {
+		t.Fatal("ForceJSON node negotiated the binary plane")
+	}
+	if !reports[1].BinaryTaskPlane {
+		t.Fatal("default node did not negotiate the binary plane")
+	}
+	if !reports[0].Joined || !reports[1].Joined {
+		t.Fatalf("joins: %+v %+v", reports[0], reports[1])
+	}
+	if got := reports[0].TasksDone + reports[1].TasksDone; got != 16 {
+		t.Fatalf("nodes report %d tasks, want 16", got)
+	}
+	// Both planes completed the job, so both nodes must have done work
+	// (the scheduler spreads a 16-task job over two pull loops).
+	if reports[0].TasksDone == 0 || reports[1].TasksDone == 0 {
+		t.Logf("lopsided split (legal): %+v", reports)
+	}
+	if v, ok := reg.Value("oddci_transport_frames_in_task_request_total"); !ok || v == 0 {
+		t.Fatalf("task request frames counter = %v ok=%v", v, ok)
+	}
+	if v, ok := reg.Value("oddci_transport_frames_in_task_result_total"); !ok || v < 16 {
+		t.Fatalf("task result frames counter = %v, want >= 16", v)
+	}
+	if v, ok := reg.Value("oddci_transport_bytes_out_total"); !ok || v == 0 {
+		t.Fatalf("bytes out counter = %v ok=%v", v, ok)
+	}
+}
+
+// stageOnly connects, completes the hello/broadcast exchange, and
+// disconnects without requesting work. It returns the number of
+// broadcast payload bytes received.
+func stageOnly(addr string, nodeID uint64) (int, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return 0, err
+	}
+	defer conn.Close()
+	fr := NewFrameReader(conn)
+	defer fr.Close()
+	typ, payload, err := fr.Next()
+	if err != nil {
+		return 0, err
+	}
+	if typ != FrameBanner {
+		return 0, fmt.Errorf("first frame type %d, want banner", typ)
+	}
+	var banner Banner
+	if err := jsonUnmarshal(payload, &banner); err != nil {
+		return 0, err
+	}
+	if !banner.TaskBin {
+		return 0, errors.New("coordinator banner does not advertise the binary task plane")
+	}
+	if err := WriteJSON(conn, FrameHello, &Hello{NodeID: nodeID}); err != nil {
+		return 0, err
+	}
+	got := 0
+	var sawControl, sawImage bool
+	for !sawControl || !sawImage {
+		typ, payload, err := fr.Next()
+		if err != nil {
+			return 0, fmt.Errorf("staging read: %w", err)
+		}
+		got += len(payload)
+		switch typ {
+		case FrameControl:
+			sawControl = true
+		case FrameImage:
+			sawImage = true
+			var f ImageFile
+			if err := jsonUnmarshal(payload, &f); err != nil {
+				return 0, err
+			}
+			if len(f.Data) == 0 {
+				return 0, errors.New("empty staged image")
+			}
+		}
+	}
+	return got, nil
+}
+
+// TestLargeImageEncodeOnce stages a multi-MB image to N concurrent
+// sessions and asserts the coordinator-side encode counter stays at
+// its construction value — the paper's O(1)-in-N broadcast invariant,
+// now enforced on the TCP path.
+func TestLargeImageEncodeOnce(t *testing.T) {
+	img := &appimage.Image{Name: "big", Version: 1, EntryPoint: "w",
+		Payload: bytes.Repeat([]byte{0xA5}, 3<<20)}
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Listen: "127.0.0.1:0",
+		Image:  img,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	go coord.Serve()
+
+	encodesBefore := coord.BroadcastEncodes()
+	if encodesBefore == 0 {
+		t.Fatal("no broadcast encodes recorded at construction")
+	}
+	const nodes = 8
+	var wg sync.WaitGroup
+	gotBytes := make([]int, nodes)
+	stageErrs := make([]error, nodes)
+	for i := 0; i < nodes; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			gotBytes[i], stageErrs[i] = stageOnly(coord.Addr(), uint64(i+1))
+		}()
+	}
+	wg.Wait()
+	for i, err := range stageErrs {
+		if err != nil {
+			t.Fatalf("stage %d: %v", i+1, err)
+		}
+	}
+	if coord.BroadcastEncodes() != encodesBefore {
+		t.Fatalf("staging %d sessions re-encoded the broadcast: %d -> %d encodes",
+			nodes, encodesBefore, coord.BroadcastEncodes())
+	}
+	if coord.NodeCount() != nodes {
+		t.Fatalf("NodeCount = %d, want %d", coord.NodeCount(), nodes)
+	}
+	for i, n := range gotBytes {
+		if n < 3<<20 {
+			t.Fatalf("node %d received only %d staged bytes", i+1, n)
+		}
+		if n != gotBytes[0] {
+			t.Fatalf("staging bytes differ across sessions: %d vs %d", n, gotBytes[0])
+		}
+	}
+	if coord.BroadcastBytes() < 3<<20 {
+		t.Fatalf("BroadcastBytes = %d, want at least the image size", coord.BroadcastBytes())
+	}
+}
+
+// TestLegacyWireBytesUnchanged pins the legacy JSON frames' wire
+// layout: a pre-fast-path node's first frames must decode under the
+// old ReadJSON helper exactly as before.
+func TestLegacyWireBytesUnchanged(t *testing.T) {
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Listen: "127.0.0.1:0",
+		Name:   "legacy",
+		Image:  testImage(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	go coord.Serve()
+
+	conn, err := net.Dial("tcp", coord.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// The legacy helpers (unbuffered, per-frame alloc) still parse the
+	// stream byte-for-byte.
+	var banner Banner
+	if err := ReadJSON(conn, FrameBanner, &banner); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(banner.ControllerKey, coord.PublicKey()) {
+		t.Fatal("banner key mismatch through legacy reader")
+	}
+	if err := WriteJSON(conn, FrameHello, &Hello{NodeID: 7}); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := ReadFrame(conn)
+	if err != nil || typ != FrameControl || len(payload) == 0 {
+		t.Fatalf("control frame via legacy reader: typ=%d err=%v", typ, err)
+	}
+	var f ImageFile
+	if err := ReadJSON(conn, FrameImage, &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Name != "image.1" || len(f.Data) == 0 {
+		t.Fatalf("image frame via legacy reader: %q (%d bytes)", f.Name, len(f.Data))
+	}
+}

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bufio"
 	"crypto/ed25519"
 	"encoding/json"
 	"errors"
@@ -43,6 +44,10 @@ type NodeConfig struct {
 	Clock simtime.Clock
 	// Seed drives the probability draw.
 	Seed int64
+	// ForceJSON speaks the legacy JSON task plane even when the
+	// coordinator advertises the binary codec — the mixed-version
+	// interop path, also used as the bench baseline.
+	ForceJSON bool
 }
 
 // NodeReport summarizes one agent run.
@@ -50,6 +55,8 @@ type NodeReport struct {
 	Joined     bool
 	TasksDone  int
 	Heartbeats int
+	// BinaryTaskPlane reports whether the binary codec was negotiated.
+	BinaryTaskPlane bool
 }
 
 // RunNode connects, obeys the broadcast control plane, executes tasks
@@ -74,26 +81,56 @@ func RunNode(cfg NodeConfig) (report NodeReport, err error) {
 		return report, err
 	}
 	defer conn.Close()
+	fr := NewFrameReader(conn)
+	defer fr.Close()
 
+	t, payload, err := fr.Next()
+	if err != nil {
+		return report, fmt.Errorf("transport: banner: %w", err)
+	}
+	if t != FrameBanner {
+		return report, fmt.Errorf("transport: frame type %d, want %d", t, FrameBanner)
+	}
 	var banner Banner
-	if err := ReadJSON(conn, FrameBanner, &banner); err != nil {
+	if err := jsonUnmarshal(payload, &banner); err != nil {
 		return report, fmt.Errorf("transport: banner: %w", err)
 	}
 	key := ed25519.PublicKey(banner.ControllerKey)
 	if cfg.PinnedKey != nil && !key.Equal(cfg.PinnedKey) {
 		return report, errors.New("transport: coordinator key does not match pin")
 	}
+	// Codec negotiation: binary task plane only when the coordinator
+	// advertises it (old coordinators don't), JSON otherwise.
+	bin := banner.TaskBin && !cfg.ForceJSON
+	report.BinaryTaskPlane = bin
 
+	// The heartbeat goroutine and the worker loop interleave writes on
+	// the one connection, so sends serialize on wmu; the bufio writer
+	// turns each frame into a single contiguous syscall at flush.
 	var wmu sync.Mutex
+	bw := bufio.NewWriterSize(conn, 4<<10)
 	send := func(t FrameType, payload []byte) error {
 		wmu.Lock()
 		defer wmu.Unlock()
-		return WriteFrame(conn, t, payload)
+		if err := WriteFrame(bw, t, payload); err != nil {
+			return err
+		}
+		return bw.Flush()
 	}
-	sendJSON := func(t FrameType, v any) error {
+	sendRaw := func(frame []byte) error {
 		wmu.Lock()
 		defer wmu.Unlock()
-		return WriteJSON(conn, t, v)
+		if _, err := bw.Write(frame); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
+	sendJSON := func(t FrameType, v any) error {
+		raw, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		return send(t, raw)
 	}
 	if err := sendJSON(FrameHello, &Hello{
 		NodeID: cfg.NodeID, Class: uint8(cfg.Profile.Class),
@@ -106,7 +143,7 @@ func RunNode(cfg NodeConfig) (report NodeReport, err error) {
 	var wakeup *control.Wakeup
 	var img *appimage.Image
 	for img == nil {
-		t, payload, err := ReadFrame(conn)
+		t, payload, err := fr.Next()
 		if err != nil {
 			return report, err
 		}
@@ -193,7 +230,7 @@ func RunNode(cfg NodeConfig) (report NodeReport, err error) {
 	// connection, so reads skip them.
 	readTaskReply := func() (FrameType, []byte, error) {
 		for {
-			t, payload, err := ReadFrame(conn)
+			t, payload, err := fr.Next()
 			if err != nil {
 				return 0, nil, err
 			}
@@ -203,8 +240,25 @@ func RunNode(cfg NodeConfig) (report NodeReport, err error) {
 			return t, payload, nil
 		}
 	}
+	// On the binary plane the request frame is identical every round:
+	// build it once. Result frames rebuild into a reused buffer.
+	var reqFrame, wbuf []byte
+	if bin {
+		reqFrame = BeginFrame(nil, FrameTaskRequestBin)
+		reqFrame = AppendTaskRequest(reqFrame, &TaskRequestMsg{NodeID: cfg.NodeID})
+		if reqFrame, err = EndFrame(reqFrame, 0); err != nil {
+			return report, err
+		}
+	}
+	var assign TaskAssignMsg
+	var noTask NoTaskMsg
 	for {
-		if err := sendJSON(FrameTaskRequest, &TaskRequestMsg{NodeID: cfg.NodeID}); err != nil {
+		if bin {
+			err = sendRaw(reqFrame)
+		} else {
+			err = sendJSON(FrameTaskRequest, &TaskRequestMsg{NodeID: cfg.NodeID})
+		}
+		if err != nil {
 			return report, err
 		}
 		t, payload, err := readTaskReply()
@@ -212,27 +266,47 @@ func RunNode(cfg NodeConfig) (report NodeReport, err error) {
 			return report, err
 		}
 		switch t {
-		case FrameTaskAssign:
-			var a TaskAssignMsg
-			if err := jsonUnmarshal(payload, &a); err != nil {
+		case FrameTaskAssignBin, FrameTaskAssign:
+			if t == FrameTaskAssignBin {
+				err = DecodeTaskAssign(payload, &assign)
+			} else {
+				assign = TaskAssignMsg{} // omitted JSON fields must not inherit stale state
+				err = jsonUnmarshal(payload, &assign)
+			}
+			if err != nil {
 				return report, err
 			}
-			d := cfg.Perf.TaskDuration(a.RefSeconds, cfg.Mode)
+			d := cfg.Perf.TaskDuration(assign.RefSeconds, cfg.Mode)
 			time.Sleep(time.Duration(float64(d) / cfg.TimeScale))
-			res := &TaskResultMsg{NodeID: cfg.NodeID, JobID: a.JobID, TaskID: a.TaskID}
-			if err := sendJSON(FrameTaskResult, res); err != nil {
+			res := TaskResultMsg{NodeID: cfg.NodeID, JobID: assign.JobID, TaskID: assign.TaskID}
+			if bin {
+				wbuf = BeginFrame(wbuf[:0], FrameTaskResultBin)
+				wbuf = AppendTaskResult(wbuf, &res)
+				if wbuf, err = EndFrame(wbuf, 0); err != nil {
+					return report, err
+				}
+				err = sendRaw(wbuf)
+			} else {
+				err = sendJSON(FrameTaskResult, &res)
+			}
+			if err != nil {
 				return report, err
 			}
 			report.TasksDone++
-		case FrameNoTask:
-			var nt NoTaskMsg
-			if err := jsonUnmarshal(payload, &nt); err != nil {
+		case FrameNoTaskBin, FrameNoTask:
+			if t == FrameNoTaskBin {
+				err = DecodeNoTask(payload, &noTask)
+			} else {
+				noTask = NoTaskMsg{}
+				err = jsonUnmarshal(payload, &noTask)
+			}
+			if err != nil {
 				return report, err
 			}
-			if nt.Done {
+			if noTask.Done {
 				return report, nil
 			}
-			time.Sleep(time.Duration(float64(nt.RetryAfter()) / cfg.TimeScale))
+			time.Sleep(time.Duration(float64(noTask.RetryAfter()) / cfg.TimeScale))
 		default:
 			return report, fmt.Errorf("transport: unexpected frame %d awaiting task reply", t)
 		}

@@ -3,7 +3,8 @@
 // + Backend) and the node agents as separate processes. Frames are
 // length-prefixed with a one-byte type; control-plane payloads reuse
 // the signed binary codecs from internal/control, task-plane payloads
-// are JSON.
+// are length-delimited binary messages (with a JSON fallback for older
+// nodes, negotiated through the banner).
 //
 // Scope note: across processes the broadcast channel is emulated as a
 // server push of the carousel contents to every connected node — the
@@ -11,15 +12,31 @@
 // receives it) without per-node pacing. The virtual-time simulator
 // remains the measurement instrument; this package is the interop and
 // deployment path.
+//
+// Wire fast path: the coordinator pre-encodes the banner, control, and
+// image frames once at construction and writes the same immutable
+// bytes to every session, so staging N nodes costs O(1) encodes on the
+// coordinator CPU — the broadcast invariant the paper's cost model
+// rests on. Task-plane frames are built into reused buffers
+// (BeginFrame/EndFrame), read through pooled payload buffers
+// (FrameReader), and batched behind bufio writers with explicit flush
+// points.
 package transport
 
 import (
+	"bufio"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math"
+	"sync"
+	"sync/atomic"
 	"time"
+
+	"oddci/internal/obs"
+	"oddci/internal/simtime"
 )
 
 // FrameType tags a frame.
@@ -42,11 +59,19 @@ const (
 	// FrameHeartbeatReply carries an encoded control.HeartbeatReply.
 	FrameHeartbeatReply FrameType = 6
 	// FrameTaskRequest, FrameTaskAssign, FrameNoTask and
-	// FrameTaskResult carry the JSON task-plane messages.
+	// FrameTaskResult carry the legacy JSON task-plane messages. A
+	// coordinator answers them in kind, so old nodes interoperate.
 	FrameTaskRequest FrameType = 7
 	FrameTaskAssign  FrameType = 8
 	FrameNoTask      FrameType = 9
 	FrameTaskResult  FrameType = 10
+	// FrameTaskRequestBin, FrameTaskAssignBin, FrameNoTaskBin and
+	// FrameTaskResultBin carry the binary task-plane codec (below). A
+	// node speaks them only when the banner advertises TaskBin.
+	FrameTaskRequestBin FrameType = 11
+	FrameTaskAssignBin  FrameType = 12
+	FrameNoTaskBin      FrameType = 13
+	FrameTaskResultBin  FrameType = 14
 )
 
 // MaxFrame bounds a frame's payload (images dominate).
@@ -68,6 +93,9 @@ type Banner struct {
 	ControllerKey []byte `json:"controller_key"`
 	// Name labels the deployment.
 	Name string `json:"name"`
+	// TaskBin advertises the binary task-plane codec. Old coordinators
+	// omit it, so new nodes fall back to the JSON frames against them.
+	TaskBin bool `json:"task_bin,omitempty"`
 }
 
 // ImageFile is one carousel file pushed to nodes.
@@ -109,7 +137,145 @@ type TaskResultMsg struct {
 	Payload []byte `json:"payload,omitempty"`
 }
 
-// WriteFrame emits one frame.
+// Binary task-plane codec. Deterministic big-endian layouts in the
+// style of internal/control; decoders are strict (no trailing bytes),
+// so every accepted input is the canonical encoding of its message.
+
+// AppendTaskRequest appends the binary task-request payload to dst.
+func AppendTaskRequest(dst []byte, m *TaskRequestMsg) []byte {
+	return binary.BigEndian.AppendUint64(dst, m.NodeID)
+}
+
+// DecodeTaskRequest reverses AppendTaskRequest into m.
+func DecodeTaskRequest(b []byte, m *TaskRequestMsg) error {
+	if len(b) != 8 {
+		return errors.New("transport: malformed task request")
+	}
+	m.NodeID = binary.BigEndian.Uint64(b)
+	return nil
+}
+
+// AppendTaskAssign appends the binary task-assign payload to dst.
+func AppendTaskAssign(dst []byte, m *TaskAssignMsg) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, uint64(int64(m.JobID)))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(int64(m.TaskID)))
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(m.RefSeconds))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(int64(m.OutputSize)))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Payload)))
+	return append(dst, m.Payload...)
+}
+
+// DecodeTaskAssign reverses AppendTaskAssign into m. The payload is
+// copied out of b, so b may be a reused frame buffer.
+func DecodeTaskAssign(b []byte, m *TaskAssignMsg) error {
+	if len(b) < 36 {
+		return errors.New("transport: truncated task assign")
+	}
+	n := binary.BigEndian.Uint32(b[32:])
+	if uint64(n) != uint64(len(b)-36) {
+		return errors.New("transport: task assign payload length mismatch")
+	}
+	m.JobID = int(int64(binary.BigEndian.Uint64(b)))
+	m.TaskID = int(int64(binary.BigEndian.Uint64(b[8:])))
+	m.RefSeconds = math.Float64frombits(binary.BigEndian.Uint64(b[16:]))
+	m.OutputSize = int(int64(binary.BigEndian.Uint64(b[24:])))
+	m.Payload = nil
+	if n > 0 {
+		m.Payload = append([]byte(nil), b[36:]...)
+	}
+	return nil
+}
+
+// AppendNoTask appends the binary no-task payload to dst.
+func AppendNoTask(dst []byte, m *NoTaskMsg) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, uint64(m.RetryAfterMS))
+	done := byte(0)
+	if m.Done {
+		done = 1
+	}
+	return append(dst, done)
+}
+
+// DecodeNoTask reverses AppendNoTask into m.
+func DecodeNoTask(b []byte, m *NoTaskMsg) error {
+	if len(b) != 9 || b[8] > 1 {
+		return errors.New("transport: malformed no-task")
+	}
+	m.RetryAfterMS = int64(binary.BigEndian.Uint64(b))
+	m.Done = b[8] == 1
+	return nil
+}
+
+// AppendTaskResult appends the binary task-result payload to dst.
+func AppendTaskResult(dst []byte, m *TaskResultMsg) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, m.NodeID)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(int64(m.JobID)))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(int64(m.TaskID)))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Payload)))
+	return append(dst, m.Payload...)
+}
+
+// DecodeTaskResult reverses AppendTaskResult into m. The payload is
+// copied out of b, so b may be a reused frame buffer.
+func DecodeTaskResult(b []byte, m *TaskResultMsg) error {
+	if len(b) < 28 {
+		return errors.New("transport: truncated task result")
+	}
+	n := binary.BigEndian.Uint32(b[24:])
+	if uint64(n) != uint64(len(b)-28) {
+		return errors.New("transport: task result payload length mismatch")
+	}
+	m.NodeID = binary.BigEndian.Uint64(b)
+	m.JobID = int(int64(binary.BigEndian.Uint64(b[8:])))
+	m.TaskID = int(int64(binary.BigEndian.Uint64(b[16:])))
+	m.Payload = nil
+	if n > 0 {
+		m.Payload = append([]byte(nil), b[28:]...)
+	}
+	return nil
+}
+
+// Frame buffer pool: payload buffers for reads and contiguous write
+// staging share one size-capped sync.Pool. Buffers above poolBufCap
+// are allocated one-shot and never pooled, so an occasional huge image
+// frame cannot pin memory.
+const poolBufCap = 64 << 10
+
+var framePool = sync.Pool{New: func() any {
+	b := make([]byte, 0, poolBufCap)
+	return &b
+}}
+
+var poolHits, poolMisses atomic.Uint64
+
+// FramePoolStats reports how many frame-buffer requests were served
+// within the pooled size cap (hits) versus forced to allocate an
+// oversized one-shot buffer (misses), process-wide.
+func FramePoolStats() (hits, misses uint64) {
+	return poolHits.Load(), poolMisses.Load()
+}
+
+func getFrameBuf(n int) *[]byte {
+	if n <= poolBufCap {
+		poolHits.Add(1)
+		return framePool.Get().(*[]byte)
+	}
+	poolMisses.Add(1)
+	b := make([]byte, 0, n)
+	return &b
+}
+
+func putFrameBuf(b *[]byte) {
+	if cap(*b) <= poolBufCap {
+		*b = (*b)[:0]
+		framePool.Put(b)
+	}
+}
+
+// WriteFrame emits one frame as a single contiguous write: either
+// directly into a *bufio.Writer (coalesced at flush) or through a
+// pooled staging buffer, so the header and payload never split into
+// two short writes on the socket.
 func WriteFrame(w io.Writer, t FrameType, payload []byte) error {
 	if len(payload) > MaxFrame {
 		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(payload))
@@ -117,11 +283,53 @@ func WriteFrame(w io.Writer, t FrameType, payload []byte) error {
 	var hdr [5]byte
 	hdr[0] = byte(t)
 	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
+	if bw, ok := w.(*bufio.Writer); ok {
+		if _, err := bw.Write(hdr[:]); err != nil {
+			return err
+		}
+		_, err := bw.Write(payload)
 		return err
 	}
-	_, err := w.Write(payload)
+	bp := getFrameBuf(5 + len(payload))
+	b := append(append((*bp)[:0], hdr[:]...), payload...)
+	_, err := w.Write(b)
+	*bp = b
+	putFrameBuf(bp)
 	return err
+}
+
+// AppendFrame appends a complete frame (header + payload) to dst — the
+// encode-once path for broadcast artifacts that are written verbatim
+// to every session.
+func AppendFrame(dst []byte, t FrameType, payload []byte) ([]byte, error) {
+	if len(payload) > MaxFrame {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", len(payload))
+	}
+	dst = append(dst, byte(t))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
+	return append(dst, payload...), nil
+}
+
+// BeginFrame appends a frame header for t with a placeholder length to
+// dst. The caller appends the payload directly (e.g. via
+// AppendTaskAssign) and then calls EndFrame with the pre-BeginFrame
+// length — the zero-allocation write path for hot frames built into a
+// reused buffer.
+func BeginFrame(dst []byte, t FrameType) []byte {
+	return append(dst, byte(t), 0, 0, 0, 0)
+}
+
+// EndFrame patches the length of the frame begun at offset start.
+func EndFrame(b []byte, start int) ([]byte, error) {
+	n := len(b) - start - 5
+	if n < 0 {
+		return nil, errors.New("transport: EndFrame without BeginFrame")
+	}
+	if n > MaxFrame {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	binary.BigEndian.PutUint32(b[start+1:start+5], uint32(n))
+	return b, nil
 }
 
 // WriteJSON marshals v and emits it as a frame of type t.
@@ -136,7 +344,9 @@ func WriteJSON(w io.Writer, t FrameType, v any) error {
 // ErrFrameTooLarge reports an oversized incoming frame.
 var ErrFrameTooLarge = errors.New("transport: incoming frame exceeds limit")
 
-// ReadFrame consumes one frame.
+// ReadFrame consumes one frame. The returned payload is freshly
+// allocated and owned by the caller; session loops should prefer
+// FrameReader, which reuses a pooled buffer across frames.
 func ReadFrame(r io.Reader) (FrameType, []byte, error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -163,4 +373,80 @@ func ReadJSON(r io.Reader, want FrameType, v any) error {
 		return fmt.Errorf("transport: frame type %d, want %d", t, want)
 	}
 	return json.Unmarshal(payload, v)
+}
+
+// frameReadBufSize is the bufio.Reader size behind a FrameReader.
+const frameReadBufSize = 32 << 10
+
+// FrameReader reads frames through buffered I/O into a pooled payload
+// buffer. The payload returned by Next is valid only until the
+// following Next or Close; decoders that retain bytes must copy (the
+// binary task-plane decoders do).
+type FrameReader struct {
+	br  *bufio.Reader
+	buf []byte
+	// optional read-latency instrumentation (payload drain time after
+	// the header arrived — excludes idle wait for the next frame).
+	hist *obs.Histogram
+	clk  simtime.Clock
+}
+
+// NewFrameReader wraps r. Call Close when the stream ends to return
+// the payload buffer to the pool.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{
+		br:  bufio.NewReaderSize(r, frameReadBufSize),
+		buf: *framePool.Get().(*[]byte),
+	}
+}
+
+// Instrument records each frame's payload-read latency into h using
+// clk (both may be nil to disable).
+func (fr *FrameReader) Instrument(h *obs.Histogram, clk simtime.Clock) {
+	fr.hist = h
+	fr.clk = clk
+}
+
+// Buffered reports bytes already read from the connection but not yet
+// consumed — zero means the next Next will block, so callers should
+// flush pending replies first.
+func (fr *FrameReader) Buffered() int { return fr.br.Buffered() }
+
+// Next reads one frame. The payload aliases the reader's reused buffer.
+func (fr *FrameReader) Next() (FrameType, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(fr.br, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := int(binary.BigEndian.Uint32(hdr[1:]))
+	if n > MaxFrame {
+		return 0, nil, ErrFrameTooLarge
+	}
+	if n > cap(fr.buf) {
+		poolMisses.Add(1)
+		fr.buf = make([]byte, 0, n)
+	} else {
+		poolHits.Add(1)
+	}
+	payload := fr.buf[:n]
+	var t0 time.Time
+	if fr.hist != nil && fr.clk != nil {
+		t0 = fr.clk.Now()
+	}
+	if _, err := io.ReadFull(fr.br, payload); err != nil {
+		return 0, nil, err
+	}
+	if fr.hist != nil && fr.clk != nil {
+		fr.hist.ObserveDuration(fr.clk.Now().Sub(t0))
+	}
+	return FrameType(hdr[0]), payload, nil
+}
+
+// Close returns the payload buffer to the pool.
+func (fr *FrameReader) Close() {
+	if fr.buf != nil {
+		b := fr.buf
+		fr.buf = nil
+		putFrameBuf(&b)
+	}
 }

@@ -154,8 +154,21 @@ func TestTCPEndToEnd(t *testing.T) {
 	if total != 24 {
 		t.Fatalf("nodes report %d tasks, want 24", total)
 	}
-	if len(coord.NodesSeen) != nodes {
-		t.Fatalf("coordinator saw %d nodes", len(coord.NodesSeen))
+	if coord.NodeCount() != nodes {
+		t.Fatalf("coordinator saw %d nodes", coord.NodeCount())
+	}
+	for i := 1; i <= nodes; i++ {
+		if !coord.SeenNode(uint64(i)) {
+			t.Fatalf("node %d missing from the striped node set", i)
+		}
+	}
+	if coord.SeenNode(999) {
+		t.Fatal("phantom node in the striped node set")
+	}
+	for i, r := range reports {
+		if !r.BinaryTaskPlane {
+			t.Fatalf("node %d did not negotiate the binary task plane", i+1)
+		}
 	}
 }
 
@@ -350,9 +363,7 @@ func TestInjectedClockStampsTransport(t *testing.T) {
 		t.Fatal("job incomplete")
 	}
 
-	coord.mu.Lock()
-	last := coord.lastBeat
-	coord.mu.Unlock()
+	last := coord.LastHeartbeat()
 	if !last.Equal(epoch) {
 		t.Fatalf("coordinator lastBeat = %v, want sim epoch %v (heartbeat timestamps must come from the configured clock)", last, epoch)
 	}
