@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet test race build cover bench-transport
+.PHONY: check fmt vet test race build cover bench-transport bench-fleet
 
 ## check: the full tier-1 gate — formatting, vet, build, tests with the
 ## race detector (the lifecycle churn stress must pass under -race),
@@ -28,9 +28,11 @@ race:
 ## cover: enforce per-package coverage floors — the observability layer
 ## (obs registry/exposition, trace recorder), the Controller (lifecycle
 ## plus crash recovery), the journal persistence layer, the Backend
-## scheduler (dispatch, lease reclaim, draining), and the transport
-## fast path (framing, binary codec, coordinator/node loops).
-COVER_PKGS ?= ./internal/obs:85 ./internal/trace:85 ./internal/core/controller:85 ./internal/journal:78 ./internal/core/backend:80 ./internal/transport:75
+## scheduler (dispatch, lease reclaim, draining), the transport fast
+## path (framing, binary codec, coordinator/node loops), and the fleet
+## simulation harness (SoA engine, timing wheel integration, analytic
+## cross-validation).
+COVER_PKGS ?= ./internal/obs:85 ./internal/trace:85 ./internal/core/controller:85 ./internal/journal:78 ./internal/core/backend:80 ./internal/transport:75 ./internal/fleet:75
 cover:
 	@for entry in $(COVER_PKGS); do \
 		pkg="$${entry%%:*}"; floor="$${entry##*:}"; \
@@ -48,3 +50,10 @@ cover:
 ## flat in session count or the binary codec's alloc win drops below 2x.
 bench-transport:
 	$(GO) run ./cmd/oddci-bench -sweep transport -out BENCH_transport.json
+
+## bench-fleet: regenerate the million-PNA harness gate
+## (BENCH_fleet.json) — wakeup→quorum at n = 10³…10⁶ in one process,
+## failing if any availability or ramp-up curve leaves its analytic
+## tolerance.
+bench-fleet:
+	$(GO) run ./cmd/oddci-bench -sweep fleet -out BENCH_fleet.json

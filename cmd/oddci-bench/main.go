@@ -20,6 +20,14 @@
 // allocs per hand-off at least 2x versus the JSON baseline:
 //
 //	oddci-bench -sweep transport -out BENCH_transport.json
+//
+// The fleet sweep drives the million-PNA simulation harness
+// (internal/fleet) through wakeup→quorum at populations from 10³ to
+// 10⁶, recording wall clock, peak RSS, and event counts per run, and
+// fails if any run's availability or ramp-up curve leaves its analytic
+// tolerance:
+//
+//	oddci-bench -sweep fleet -out BENCH_fleet.json
 package main
 
 import (
@@ -39,7 +47,7 @@ import (
 
 func main() {
 	var (
-		sweep = flag.String("sweep", "fig6", "one of fig6, fig7, table1, churn, backend, transport")
+		sweep = flag.String("sweep", "fig6", "one of fig6, fig7, table1, churn, backend, transport, fleet")
 		seed  = flag.Int64("seed", 2009, "random seed")
 		nodes = flag.Int("nodes", 200, "DES population for validated sweeps")
 		out   = flag.String("out", "", "output file for the backend/transport sweeps' JSON gate (default BENCH_<sweep>.json)")
@@ -66,6 +74,11 @@ func main() {
 			*out = "BENCH_transport.json"
 		}
 		err = sweepTransport(w, *out)
+	case "fleet":
+		if *out == "" {
+			*out = "BENCH_fleet.json"
+		}
+		err = sweepFleet(w, *seed, *out)
 	default:
 		err = fmt.Errorf("unknown sweep %q", *sweep)
 	}

@@ -138,6 +138,74 @@ func (p Params) SingleThroughput() float64 { return 1 / p.TaskSeconds }
 // IdealThroughput returns N/p.
 func (p Params) IdealThroughput() float64 { return p.N / p.TaskSeconds }
 
+// Availability returns the stationary availability a = on/(on+off) of a
+// node alternating exponentially distributed on and off periods with
+// the given means (seconds): the probability that a uniformly chosen
+// instant finds the node powered on and tuned, and therefore the
+// expected fraction of the PNA population a wakeup broadcast reaches.
+// The paper sizes instances against exactly this fraction (§5.2.1's
+// "nodes that will remain tuned"); the fleet harness validates it
+// empirically at 10⁶ nodes.
+func Availability(meanOn, meanOff float64) float64 {
+	if meanOn <= 0 {
+		return 0
+	}
+	if meanOff < 0 {
+		meanOff = 0
+	}
+	return meanOn / (meanOn + meanOff)
+}
+
+// RampUp returns F(t): the fraction of woken receivers that have
+// assembled the image t seconds after the wakeup broadcast, under the
+// random-phase carousel model behind W = 1.5·I/β. A receiver joining
+// the carousel at a uniformly random phase completes in W ~ U(C, 2C)
+// with C = I/β, so the ramp-up curve is zero through the first cycle,
+// linear across the second, and one thereafter. Its mean recovers
+// Wakeup() = 1.5·C.
+func (p Params) RampUp(t float64) float64 {
+	c := p.ImageBits / p.Beta
+	switch {
+	case c <= 0:
+		return 1 // empty image: joining is instantaneous
+	case t <= c:
+		return 0
+	case t >= 2*c:
+		return 1
+	default:
+		return (t - c) / c
+	}
+}
+
+// RampUpWithChurn corrects RampUp for power churn with mean on-time
+// meanOn seconds. Exponential on-periods are memoryless, so a node
+// available at the wakeup instant is still powered on t seconds later
+// with probability e^(−t/meanOn) regardless of how long it had already
+// been on; the expected fraction of the wakeup-time population that has
+// completed its initial (uninterrupted) image load by t and is still on
+// is therefore F(t)·e^(−t/meanOn). meanOn ≤ 0 or +Inf means no churn.
+func (p Params) RampUpWithChurn(t, meanOn float64) float64 {
+	f := p.RampUp(t)
+	if meanOn <= 0 || math.IsInf(meanOn, 1) {
+		return f
+	}
+	return f * math.Exp(-t/meanOn)
+}
+
+// QuorumTime inverts RampUp: the time after the wakeup broadcast at
+// which a fraction frac ∈ [0, 1] of the woken population has joined,
+// ignoring churn: t = C·(1+frac). The first join lands at one full
+// cycle, the last at two.
+func (p Params) QuorumTime(frac float64) float64 {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return p.ImageBits / p.Beta * (1 + frac)
+}
+
 // NodesFor inverts equation (1): the smallest instance size N that
 // completes n tasks within target seconds, or 0 when the target is
 // unreachable (it is below the wakeup overhead plus one task's

@@ -177,3 +177,107 @@ func TestNodesForInvertsMakespan(t *testing.T) {
 		t.Fatalf("unreachable target returned %v", got)
 	}
 }
+
+func TestAvailability(t *testing.T) {
+	cases := []struct{ on, off, want float64 }{
+		{10800, 3600, 0.75},
+		{3600, 3600, 0.5},
+		{1, 0, 1},
+		{0, 5, 0},
+		{-1, 5, 0},
+	}
+	for _, c := range cases {
+		if got := Availability(c.on, c.off); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("Availability(%v,%v) = %v, want %v", c.on, c.off, got, c.want)
+		}
+	}
+}
+
+func TestRampUpShape(t *testing.T) {
+	p := Figure6Defaults(10, 100)
+	c := p.ImageBits / p.Beta // one carousel cycle
+	if got := p.RampUp(0); got != 0 {
+		t.Fatalf("RampUp(0) = %v, want 0", got)
+	}
+	if got := p.RampUp(c); got != 0 {
+		t.Fatalf("RampUp(C) = %v, want 0 (first join at one full cycle)", got)
+	}
+	if got := p.RampUp(1.5 * c); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("RampUp(1.5C) = %v, want 0.5", got)
+	}
+	if got := p.RampUp(2 * c); got != 1 {
+		t.Fatalf("RampUp(2C) = %v, want 1", got)
+	}
+	if got := p.RampUp(10 * c); got != 1 {
+		t.Fatalf("RampUp(10C) = %v, want 1", got)
+	}
+	// Monotone nondecreasing across the whole ramp.
+	prev := -1.0
+	for i := 0; i <= 300; i++ {
+		v := p.RampUp(float64(i) / 100 * c)
+		if v < prev {
+			t.Fatalf("RampUp not monotone at t=%v cycles", float64(i)/100)
+		}
+		prev = v
+	}
+}
+
+// TestRampUpMeanIsWakeup ties the curve to the paper's closed form: the
+// mean of W ~ U(C,2C), computed as the integral of the survival
+// function 1-F, must equal Wakeup() = 1.5·I/β.
+func TestRampUpMeanIsWakeup(t *testing.T) {
+	p := Figure6Defaults(10, 100)
+	c := p.ImageBits / p.Beta
+	const steps = 200000
+	dt := 2.5 * c / steps
+	var mean float64
+	for i := 0; i < steps; i++ {
+		tt := (float64(i) + 0.5) * dt
+		mean += (1 - p.RampUp(tt)) * dt
+	}
+	if math.Abs(mean-p.Wakeup()) > 1e-3*p.Wakeup() {
+		t.Fatalf("integral of survival = %v, want Wakeup() = %v", mean, p.Wakeup())
+	}
+}
+
+func TestRampUpWithChurn(t *testing.T) {
+	p := Figure6Defaults(10, 100)
+	c := p.ImageBits / p.Beta
+	meanOn := 10800.0
+	for _, tt := range []float64{0.5 * c, 1.2 * c, 1.9 * c, 3 * c} {
+		base := p.RampUp(tt)
+		got := p.RampUpWithChurn(tt, meanOn)
+		want := base * math.Exp(-tt/meanOn)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("RampUpWithChurn(%v) = %v, want %v", tt, got, want)
+		}
+		if got > base {
+			t.Fatalf("churn raised the ramp at t=%v", tt)
+		}
+	}
+	// No churn: meanOn ≤ 0 or +Inf degrade to the pure curve.
+	if got := p.RampUpWithChurn(1.5*c, 0); got != p.RampUp(1.5*c) {
+		t.Fatalf("meanOn=0 = %v, want plain RampUp", got)
+	}
+	if got := p.RampUpWithChurn(1.5*c, math.Inf(1)); got != p.RampUp(1.5*c) {
+		t.Fatalf("meanOn=Inf = %v, want plain RampUp", got)
+	}
+}
+
+// TestQuorumTimeInvertsRampUp: F(QuorumTime(q)) = q on the open ramp.
+func TestQuorumTimeInvertsRampUp(t *testing.T) {
+	p := Figure6Defaults(10, 100)
+	c := p.ImageBits / p.Beta
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.9, 0.99} {
+		tq := p.QuorumTime(q)
+		if got := p.RampUp(tq); math.Abs(got-q) > 1e-12 {
+			t.Fatalf("RampUp(QuorumTime(%v)) = %v", q, got)
+		}
+	}
+	if got := p.QuorumTime(0); math.Abs(got-c) > 1e-12 {
+		t.Fatalf("QuorumTime(0) = %v, want one cycle %v", got, c)
+	}
+	if got := p.QuorumTime(1.5); math.Abs(got-2*c) > 1e-12 {
+		t.Fatalf("QuorumTime clamps at 2C, got %v", got)
+	}
+}

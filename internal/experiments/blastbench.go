@@ -62,14 +62,19 @@ func calibrateCellRate(seed int64) (float64, error) {
 	if _, err := blast.Search(query, db, p); err != nil {
 		return 0, err
 	}
-	start := time.Now()
 	const reps = 3
-	for i := 0; i < reps; i++ {
-		if _, err := blast.Search(query, db, p); err != nil {
-			return 0, err
+	var serr error
+	elapsed := hostSeconds(func() {
+		for i := 0; i < reps; i++ {
+			if _, err := blast.Search(query, db, p); err != nil {
+				serr = err
+				return
+			}
 		}
+	}) / reps
+	if serr != nil {
+		return 0, serr
 	}
-	elapsed := time.Since(start).Seconds() / reps
 	cells := float64(len(query)) * float64(blast.DBBytes(db))
 	return cells / elapsed, nil
 }
@@ -85,12 +90,15 @@ func runBlastTest(t blastTest, rng *rand.Rand, cellRate float64) (pcSeconds floa
 	db := blast.RandomDB(rng, t.numSeqs, t.seqLen, t.seqLen)
 	blast.PlantHit(rng, db, query, rng.Intn(t.numSeqs), 0, 10, t.queryLen/2, 1)
 	p := blast.DefaultParams()
-	start := time.Now()
-	hs, err := blast.Search(query, db, p)
+	pcSeconds = hostSeconds(func() {
+		var hs []blast.Hit
+		hs, err = blast.Search(query, db, p)
+		hits = len(hs)
+	})
 	if err != nil {
 		return 0, 0, err
 	}
-	return time.Since(start).Seconds(), len(hs), nil
+	return pcSeconds, hits, nil
 }
 
 func runTable2(cfg Config) (*Result, error) {

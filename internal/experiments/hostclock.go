@@ -1,0 +1,21 @@
+package experiments
+
+import "time"
+
+// hostSeconds returns the wall-clock seconds fn takes to run on this
+// machine. It exists to make the experiments' only legitimate uses of
+// the host clock explicit and greppable: calibrating the real cost of
+// host computation — the BLAST kernel's cells-per-second rate, the
+// heartbeat consolidator's throughput — which is a property of the
+// hardware, not of the simulation, and is reported as such.
+//
+// Everything that happens in virtual time must instead be measured
+// through the run's simtime.Clock; a time.Now() on a sim-clock path
+// smears host scheduling jitter into runs that are supposed to replay
+// byte-identically (see the frozen-clock regressions in
+// internal/core/backend and internal/transport).
+func hostSeconds(fn func()) float64 {
+	start := time.Now()
+	fn()
+	return time.Since(start).Seconds()
+}

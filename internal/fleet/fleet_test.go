@@ -1,0 +1,199 @@
+package fleet
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"oddci/internal/analytic"
+)
+
+// TestRunValidates is the main cross-validation gate at test scale: a
+// few thousand nodes through warm-up, wakeup, and ramp, with every
+// availability and ramp sample inside its analytic bound.
+func TestRunValidates(t *testing.T) {
+	r, err := Run(Config{Nodes: 2000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Availability != 0.75 {
+		t.Fatalf("model availability = %v, want 0.75 for 3h on / 1h off", r.Availability)
+	}
+	// AvailAtWake is Binomial(2000, 0.75): mean 1500, σ ≈ 19.4.
+	if r.AvailAtWake < 1350 || r.AvailAtWake > 1650 {
+		t.Fatalf("AvailAtWake = %d, implausible for Binomial(2000, 0.75)", r.AvailAtWake)
+	}
+	if len(r.Avail) != 48 || len(r.Ramp) != 48 {
+		t.Fatalf("curve lengths %d/%d, want 48 samples each", len(r.Avail), len(r.Ramp))
+	}
+	if r.QuorumSimSeconds < 0 {
+		t.Fatal("quorum never reached")
+	}
+	// Defaults: C = 80s, quorum 0.8 ⇒ model ≈ C(1+q) minus a hair of churn.
+	if r.QuorumModelSeconds < 140 || r.QuorumModelSeconds > 160 {
+		t.Fatalf("model quorum = %.1fs, want near C(1+0.8) = 144s", r.QuorumModelSeconds)
+	}
+	if r.Heartbeats == 0 {
+		t.Fatal("no heartbeats generated")
+	}
+	if r.DirectJoins == 0 || r.FinalJoined == 0 {
+		t.Fatalf("no joins recorded: direct=%d final=%d", r.DirectJoins, r.FinalJoined)
+	}
+}
+
+// TestRunDeterministic: identical configs produce identical results,
+// bit for bit — the whole point of per-node RNG streams plus the
+// deterministic wheel/Sim stack.
+func TestRunDeterministic(t *testing.T) {
+	cfg := Config{Nodes: 1500, Seed: 7}
+	r1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatal("two runs of the same config differ")
+	}
+}
+
+func TestRunSeedsDiffer(t *testing.T) {
+	r1, err := Run(Config{Nodes: 1500, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(Config{Nodes: 1500, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(r1.Ramp, r2.Ramp) {
+		t.Fatal("different seeds produced identical ramp curves")
+	}
+}
+
+// TestRunBatching: the event-batching claim. Node transitions must
+// dwarf the number of events the simtime heap fires — the wheel turns
+// one Sim event into a whole tick's batch. Needs a population large
+// enough that many transitions share each 10 ms tick.
+func TestRunBatching(t *testing.T) {
+	r, err := Run(Config{Nodes: 100_000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if r.NodeEvents < 2*r.SimEvents {
+		t.Fatalf("node events %d vs sim events %d: wheel batching not effective", r.NodeEvents, r.SimEvents)
+	}
+	if r.WheelBatches == 0 || r.NodeEvents < r.WheelBatches {
+		t.Fatalf("implausible batch accounting: %d batches, %d node events", r.WheelBatches, r.NodeEvents)
+	}
+}
+
+// TestRunNoChurn: with effectively infinite on-times the ramp is the
+// pure random-phase curve — everyone available at the wakeup has
+// joined by 2C and stays joined.
+func TestRunNoChurn(t *testing.T) {
+	r, err := Run(Config{
+		Nodes:  1000,
+		Seed:   5,
+		MeanOn: 1e6 * time.Hour,
+		// MeanOff shrinks so the off population still cycles in.
+		MeanOff: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if r.DirectJoins != r.AvailAtWake {
+		t.Fatalf("without churn every wakeup-time node must join: %d of %d", r.DirectJoins, r.AvailAtWake)
+	}
+	last := r.Ramp[len(r.Ramp)-1]
+	if last.Sim != 1 {
+		t.Fatalf("final ramp sample = %v, want exactly 1 without churn", last.Sim)
+	}
+}
+
+// TestRunAgainstAnalyticForms pins the model columns of the curves to
+// the analytic package directly, so the harness cannot drift from the
+// closed forms it claims to validate against.
+func TestRunAgainstAnalyticForms(t *testing.T) {
+	r, err := Run(Config{Nodes: 1000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := analytic.Params{ImageBits: 10e6 * 8, Beta: 1e6}
+	meanOn := (3 * time.Hour).Seconds()
+	for _, pt := range r.Avail {
+		if want := analytic.Availability(meanOn, time.Hour.Seconds()); pt.Model != want {
+			t.Fatalf("avail model column %v, want %v", pt.Model, want)
+		}
+	}
+	for _, pt := range r.Ramp {
+		if want := p.RampUpWithChurn(pt.T, meanOn); math.Abs(pt.Model-want) > 1e-12 {
+			t.Fatalf("ramp model at t=%v: %v, want %v", pt.T, pt.Model, want)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Nodes: 0},
+		{Nodes: 100, Beta: -1},
+		{Nodes: 100, MeanOn: -time.Second},
+		{Nodes: 100, QuorumFrac: 1.5},
+		{Nodes: 100, HeartbeatPeriod: time.Millisecond, Tick: time.Second},
+		{Nodes: 100, Warmup: time.Second, Tick: time.Second, Samples: 48},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Fatalf("config %d accepted, want error", i)
+		}
+	}
+	if err := (Config{Nodes: 100}).withDefaults().Validate(); err != nil {
+		t.Fatalf("defaulted config rejected: %v", err)
+	}
+}
+
+// TestResultValidateFlagsViolations: the acceptance check must actually
+// trip when a sample leaves its bound.
+func TestResultValidateFlagsViolations(t *testing.T) {
+	r, err := Run(Config{Nodes: 1000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tampered := *r
+	tampered.Avail = append([]Point(nil), r.Avail...)
+	tampered.Avail[3].Sim = tampered.Avail[3].Model + 2*tampered.Avail[3].Tol
+	if tampered.Validate() == nil {
+		t.Fatal("out-of-bound availability sample not flagged")
+	}
+	tampered = *r
+	tampered.Ramp = append([]Point(nil), r.Ramp...)
+	tampered.Ramp[40].Sim = tampered.Ramp[40].Model + 2*tampered.Ramp[40].Tol
+	if tampered.Validate() == nil {
+		t.Fatal("out-of-bound ramp sample not flagged")
+	}
+	tampered = *r
+	tampered.QuorumSimSeconds = r.QuorumModelSeconds + 2*r.QuorumTolSeconds
+	if tampered.Validate() == nil {
+		t.Fatal("out-of-bound quorum time not flagged")
+	}
+	tampered = *r
+	tampered.QuorumSimSeconds = -1
+	if tampered.Validate() == nil {
+		t.Fatal("unreached quorum not flagged")
+	}
+}

@@ -22,6 +22,15 @@ var (
 	ErrTimeout = errors.New("netsim: timeout")
 )
 
+// waiter is one registered wake callback. The sequence number lets a
+// timed-out receiver deregister its own spent closure: wake closures are
+// single-shot, so an entry whose wake already fired is dead weight that
+// would otherwise accumulate until the next Put.
+type waiter struct {
+	seq  uint64
+	wake func()
+}
+
 // Mailbox is a clock-aware unbounded FIFO queue. Senders never block;
 // receivers block through the clock's Suspend primitive, so blocking
 // receives participate correctly in virtual-time advancement.
@@ -29,8 +38,9 @@ type Mailbox[T any] struct {
 	clk simtime.Clock
 
 	mu      sync.Mutex
-	q       []T
-	waiters []func()
+	q       Ring[T]
+	waiters []waiter
+	wseq    uint64
 	closed  bool
 }
 
@@ -47,12 +57,12 @@ func (m *Mailbox[T]) Put(v T) {
 		m.mu.Unlock()
 		return
 	}
-	m.q = append(m.q, v)
+	m.q.PushBack(v)
 	w := m.waiters
 	m.waiters = nil
 	m.mu.Unlock()
-	for _, wake := range w {
-		wake()
+	for _, wt := range w {
+		wt.wake()
 	}
 }
 
@@ -64,8 +74,8 @@ func (m *Mailbox[T]) Close() {
 	w := m.waiters
 	m.waiters = nil
 	m.mu.Unlock()
-	for _, wake := range w {
-		wake()
+	for _, wt := range w {
+		wt.wake()
 	}
 }
 
@@ -73,20 +83,35 @@ func (m *Mailbox[T]) Close() {
 func (m *Mailbox[T]) Len() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return len(m.q)
+	return m.q.Len()
+}
+
+// waiterCount reports the registered wake closures; the leak regression
+// tests assert it returns to zero after timed-out receives.
+func (m *Mailbox[T]) waiterCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.waiters)
+}
+
+// dropWaiter removes the entry registered under seq, if a Put or Close
+// has not already consumed the whole list.
+func (m *Mailbox[T]) dropWaiter(seq uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, wt := range m.waiters {
+		if wt.seq == seq {
+			m.waiters = append(m.waiters[:i], m.waiters[i+1:]...)
+			return
+		}
+	}
 }
 
 // TryRecv dequeues without blocking.
 func (m *Mailbox[T]) TryRecv() (T, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if len(m.q) == 0 {
-		var zero T
-		return zero, false
-	}
-	v := m.q[0]
-	m.q = m.q[1:]
-	return v, true
+	return m.q.PopFront()
 }
 
 // Recv blocks until an item is available or the mailbox is closed and
@@ -94,9 +119,7 @@ func (m *Mailbox[T]) TryRecv() (T, bool) {
 func (m *Mailbox[T]) Recv() (T, error) {
 	for {
 		m.mu.Lock()
-		if len(m.q) > 0 {
-			v := m.q[0]
-			m.q = m.q[1:]
+		if v, ok := m.q.PopFront(); ok {
 			m.mu.Unlock()
 			return v, nil
 		}
@@ -108,12 +131,13 @@ func (m *Mailbox[T]) Recv() (T, error) {
 		m.mu.Unlock()
 		m.clk.Suspend(func(wake func()) {
 			m.mu.Lock()
-			if len(m.q) > 0 || m.closed {
+			if m.q.Len() > 0 || m.closed {
 				m.mu.Unlock()
 				wake()
 				return
 			}
-			m.waiters = append(m.waiters, wake)
+			m.waiters = append(m.waiters, waiter{seq: m.wseq, wake: wake})
+			m.wseq++
 			m.mu.Unlock()
 		})
 	}
@@ -125,9 +149,7 @@ func (m *Mailbox[T]) RecvTimeout(d time.Duration) (T, error) {
 	deadline := m.clk.Now().Add(d)
 	for {
 		m.mu.Lock()
-		if len(m.q) > 0 {
-			v := m.q[0]
-			m.q = m.q[1:]
+		if v, ok := m.q.PopFront(); ok {
 			m.mu.Unlock()
 			return v, nil
 		}
@@ -144,19 +166,30 @@ func (m *Mailbox[T]) RecvTimeout(d time.Duration) (T, error) {
 			return zero, ErrTimeout
 		}
 		var tm simtime.Timer
+		var seq uint64
+		registered := false
 		m.clk.Suspend(func(wake func()) {
 			m.mu.Lock()
-			if len(m.q) > 0 || m.closed {
+			if m.q.Len() > 0 || m.closed {
 				m.mu.Unlock()
 				wake()
 				return
 			}
-			m.waiters = append(m.waiters, wake)
+			seq = m.wseq
+			m.wseq++
+			m.waiters = append(m.waiters, waiter{seq: seq, wake: wake})
+			registered = true
 			m.mu.Unlock()
 			tm = m.clk.AfterFunc(remaining, wake)
 		})
 		if tm != nil {
 			tm.Stop()
+		}
+		if registered {
+			// Whatever woke us, this wake closure is spent: if the timer
+			// fired (or a Put raced the registration), the entry is still
+			// on the list and would pile up across repeated timeouts.
+			m.dropWaiter(seq)
 		}
 	}
 }

@@ -1,0 +1,94 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"oddci/internal/simtime"
+)
+
+// TestMailboxRecvTimeoutNoWaiterLeak is the stale-waiter regression: a
+// receiver that repeatedly times out on an idle mailbox must not grow
+// the waiter list — before the fix every timeout left its spent wake
+// closure registered until the next Put.
+func TestMailboxRecvTimeoutNoWaiterLeak(t *testing.T) {
+	clk := simtime.NewSim(epoch)
+	m := NewMailbox[*int](clk)
+	const rounds = 64
+	clk.Go(func() {
+		for i := 0; i < rounds; i++ {
+			if _, err := m.RecvTimeout(time.Second); !errors.Is(err, ErrTimeout) {
+				t.Errorf("round %d: err = %v, want ErrTimeout", i, err)
+			}
+		}
+	})
+	clk.Wait()
+	if n := m.waiterCount(); n != 0 {
+		t.Fatalf("%d stale waiters after %d timeouts, want 0", n, rounds)
+	}
+}
+
+// TestMailboxTimeoutsInterleavedWithDeliveries mixes timed-out and
+// successful receives (including two concurrent receivers) and asserts
+// both delivery correctness and a clean waiter list afterwards.
+func TestMailboxTimeoutsInterleavedWithDeliveries(t *testing.T) {
+	clk := simtime.NewSim(epoch)
+	m := NewMailbox[int](clk)
+	got := make(chan int, 16)
+	recv := func() {
+		deliveries := 0
+		for deliveries < 2 {
+			v, err := m.RecvTimeout(3 * time.Second)
+			switch {
+			case err == nil:
+				got <- v
+				deliveries++
+			case errors.Is(err, ErrTimeout):
+				// Idle stretch: keep polling, as the PNA poll loops do.
+			default:
+				t.Errorf("unexpected error: %v", err)
+				return
+			}
+		}
+	}
+	clk.Go(recv)
+	clk.Go(recv)
+	for i := 0; i < 4; i++ {
+		v := i
+		clk.AfterFunc(time.Duration(7*(i+1))*time.Second, func() { m.Put(v) })
+	}
+	clk.Wait()
+	close(got)
+	var sum, n int
+	for v := range got {
+		sum += v
+		n++
+	}
+	if n != 4 || sum != 0+1+2+3 {
+		t.Fatalf("delivered %d items (sum %d), want all 4", n, sum)
+	}
+	if w := m.waiterCount(); w != 0 {
+		t.Fatalf("%d stale waiters after mixed timeouts/deliveries, want 0", w)
+	}
+}
+
+// TestMailboxRecvTimeoutZeroAfterClose: closing with timed-out receivers
+// around must not strand waiters either.
+func TestMailboxRecvTimeoutZeroAfterClose(t *testing.T) {
+	clk := simtime.NewSim(epoch)
+	m := NewMailbox[int](clk)
+	clk.Go(func() {
+		if _, err := m.RecvTimeout(time.Second); !errors.Is(err, ErrTimeout) {
+			t.Errorf("first recv: %v, want ErrTimeout", err)
+		}
+		if _, err := m.RecvTimeout(10 * time.Second); !errors.Is(err, ErrClosed) {
+			t.Errorf("second recv: %v, want ErrClosed", err)
+		}
+	})
+	clk.AfterFunc(2*time.Second, m.Close)
+	clk.Wait()
+	if w := m.waiterCount(); w != 0 {
+		t.Fatalf("%d stale waiters after close, want 0", w)
+	}
+}
