@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet test race build cover bench-transport bench-fleet
+.PHONY: check fmt vet test race build cover bench-transport bench-fleet bench-obs
 
 ## check: the full tier-1 gate — formatting, vet, build, tests with the
 ## race detector (the lifecycle churn stress must pass under -race),
@@ -32,7 +32,7 @@ race:
 ## path (framing, binary codec, coordinator/node loops), and the fleet
 ## simulation harness (SoA engine, timing wheel integration, analytic
 ## cross-validation).
-COVER_PKGS ?= ./internal/obs:85 ./internal/trace:85 ./internal/core/controller:85 ./internal/journal:78 ./internal/core/backend:80 ./internal/transport:75 ./internal/fleet:75
+COVER_PKGS ?= ./internal/obs:85 ./internal/trace:85 ./internal/span:80 ./internal/core/controller:85 ./internal/journal:78 ./internal/core/backend:80 ./internal/transport:75 ./internal/fleet:75
 cover:
 	@for entry in $(COVER_PKGS); do \
 		pkg="$${entry%%:*}"; floor="$${entry##*:}"; \
@@ -57,3 +57,9 @@ bench-transport:
 ## tolerance.
 bench-fleet:
 	$(GO) run ./cmd/oddci-bench -sweep fleet -out BENCH_fleet.json
+
+## bench-obs: regenerate the tracing overhead gate (BENCH_obs.json) —
+## fails if the sampled-off span collector costs the binary task
+## hand-off more than 2% versus the untraced baseline, or allocates.
+bench-obs:
+	$(GO) run ./cmd/oddci-bench -sweep obs -out BENCH_obs.json

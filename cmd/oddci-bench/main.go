@@ -28,6 +28,13 @@
 // tolerance:
 //
 //	oddci-bench -sweep fleet -out BENCH_fleet.json
+//
+// The obs sweep is the tracing overhead gate: it measures the binary
+// task hand-off against a coordinator carrying a sampled-off span
+// collector versus the untraced baseline, and fails if the sampled-off
+// hot path regresses more than 2% or allocates:
+//
+//	oddci-bench -sweep obs -out BENCH_obs.json
 package main
 
 import (
@@ -47,7 +54,7 @@ import (
 
 func main() {
 	var (
-		sweep = flag.String("sweep", "fig6", "one of fig6, fig7, table1, churn, backend, transport, fleet")
+		sweep = flag.String("sweep", "fig6", "one of fig6, fig7, table1, churn, backend, transport, fleet, obs")
 		seed  = flag.Int64("seed", 2009, "random seed")
 		nodes = flag.Int("nodes", 200, "DES population for validated sweeps")
 		out   = flag.String("out", "", "output file for the backend/transport sweeps' JSON gate (default BENCH_<sweep>.json)")
@@ -79,6 +86,11 @@ func main() {
 			*out = "BENCH_fleet.json"
 		}
 		err = sweepFleet(w, *seed, *out)
+	case "obs":
+		if *out == "" {
+			*out = "BENCH_obs.json"
+		}
+		err = sweepObs(w, *out)
 	default:
 		err = fmt.Errorf("unknown sweep %q", *sweep)
 	}

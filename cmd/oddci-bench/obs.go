@@ -1,0 +1,113 @@
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync/atomic"
+	"testing"
+
+	"oddci/internal/span"
+)
+
+// obsOverheadLimit is the tracing overhead gate: with a collector
+// attached but the head-based sampler saying no (SampleRate < 0), the
+// task hand-off hot path must stay within this fraction of the
+// untraced baseline — i.e. sampled-off tracing is noise, not a tax.
+const obsOverheadLimit = 0.02
+
+// obsBenchResult is one row of BENCH_obs.json.
+type obsBenchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// OverheadFrac is only set on the summary row: sampled-off ns/op
+	// relative to the untraced baseline, minus one.
+	OverheadFrac float64 `json:"overhead_frac,omitempty"`
+}
+
+// oneRound runs the hand-off benchmark once against a coordinator
+// carrying the given collector.
+func oneRound(spans *span.Collector) (obsBenchResult, error) {
+	var failed atomic.Bool
+	r := testing.Benchmark(benchTaskHandoffSpans(true, spans, &failed))
+	if failed.Load() {
+		return obsBenchResult{}, fmt.Errorf("obs bench: measurement invalidated")
+	}
+	if r.N == 0 || r.T <= 0 {
+		return obsBenchResult{}, fmt.Errorf("obs bench: no iterations recorded")
+	}
+	return obsBenchResult{
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+	}, nil
+}
+
+// keepMin folds one round into the running best. A loopback hand-off
+// is a ~17 µs syscall round trip, so single rounds wander by several
+// percent; min-of-K converges on the true floor, and the caller
+// interleaves baseline and sampled-off rounds so clock drift and
+// thermal state hit both sides equally.
+func keepMin(best *obsBenchResult, r obsBenchResult) {
+	if best.Iterations == 0 || r.NsPerOp < best.NsPerOp {
+		*best = r
+	}
+}
+
+// sweepObs measures the tracing overhead gate: the binary task hand-off
+// with a sampled-off collector versus the untraced baseline, in one
+// process. Writes BENCH_obs.json (or -out) and fails when the
+// sampled-off path regresses past obsOverheadLimit.
+func sweepObs(w *csv.Writer, outPath string) error {
+	if err := w.Write([]string{"bench", "iterations", "ns_per_op", "allocs_per_op", "overhead_frac"}); err != nil {
+		return err
+	}
+	// Sampled-off: the collector is live and negotiates trace_ctx, but
+	// every head-based draw loses — the hot path pays only the nil-span
+	// checks, which is the deployment default worth guarding.
+	offSpans := span.NewCollector(span.Config{Capacity: 4096, SampleRate: -1})
+	const rounds = 6
+	var base, off obsBenchResult
+	for i := 0; i < rounds; i++ {
+		r, err := oneRound(nil)
+		if err != nil {
+			return err
+		}
+		keepMin(&base, r)
+		r, err = oneRound(offSpans)
+		if err != nil {
+			return err
+		}
+		keepMin(&off, r)
+	}
+	base.Name = "task_handoff_untraced"
+	off.Name = "task_handoff_sampled_off"
+
+	overhead := off.NsPerOp/base.NsPerOp - 1
+	summary := obsBenchResult{Name: "overhead", OverheadFrac: overhead}
+	results := []obsBenchResult{base, off, summary}
+	for _, res := range results {
+		if err := w.Write([]string{res.Name, fmt.Sprintf("%d", res.Iterations),
+			f(res.NsPerOp), fmt.Sprintf("%d", res.AllocsPerOp), f(res.OverheadFrac)}); err != nil {
+			return err
+		}
+	}
+	if off.AllocsPerOp > base.AllocsPerOp {
+		return fmt.Errorf("sampled-off tracing allocates on the hot path: %d allocs/op vs %d untraced",
+			off.AllocsPerOp, base.AllocsPerOp)
+	}
+	if overhead > obsOverheadLimit {
+		return fmt.Errorf("sampled-off tracing overhead %.2f%% exceeds the %.0f%% gate (%.1f ns/op vs %.1f ns/op)",
+			overhead*100, obsOverheadLimit*100, off.NsPerOp, base.NsPerOp)
+	}
+
+	blob, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	return os.WriteFile(outPath, blob, 0o644)
+}

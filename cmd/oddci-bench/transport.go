@@ -15,6 +15,7 @@ import (
 	"oddci/internal/appimage"
 	"oddci/internal/control"
 	"oddci/internal/core/instance"
+	"oddci/internal/span"
 	"oddci/internal/transport"
 )
 
@@ -31,7 +32,7 @@ type transportBenchResult struct {
 	StagedBytesPerSec float64 `json:"staged_bytes_per_sec,omitempty"`
 }
 
-func benchCoordinator(imageKB int) (*transport.Coordinator, error) {
+func benchCoordinator(imageKB int, spans *span.Collector) (*transport.Coordinator, error) {
 	img := &appimage.Image{
 		Name: "bench", Version: 1, EntryPoint: "w",
 		Payload: make([]byte, imageKB<<10),
@@ -40,6 +41,7 @@ func benchCoordinator(imageKB int) (*transport.Coordinator, error) {
 		Listen: "127.0.0.1:0",
 		Name:   "bench",
 		Image:  img,
+		Spans:  spans,
 	})
 	if err != nil {
 		return nil, err
@@ -123,7 +125,7 @@ func dialAndStage(addr string, nodeID uint64) (*rawClient, int, error) {
 // between the n=1 and n=100 rows.
 func stagingRun(n int) (transportBenchResult, error) {
 	var res transportBenchResult
-	coord, err := benchCoordinator(2 << 10) // 2 MB image
+	coord, err := benchCoordinator(2<<10, nil) // 2 MB image
 	if err != nil {
 		return res, err
 	}
@@ -172,7 +174,7 @@ func stagingRun(n int) (transportBenchResult, error) {
 // live session: one write + one pre-encoded reply per op.
 func benchHeartbeatRTT(failed *atomic.Bool) func(b *testing.B) {
 	return func(b *testing.B) {
-		coord, err := benchCoordinator(32)
+		coord, err := benchCoordinator(32, nil)
 		if err != nil {
 			failed.Store(true)
 			return
@@ -222,8 +224,15 @@ func benchHeartbeatRTT(failed *atomic.Bool) func(b *testing.B) {
 // testing.Benchmark's alloc counters are process-wide, so both sides of
 // each hand-off are in the numbers.
 func benchTaskHandoff(binaryPlane bool, failed *atomic.Bool) func(b *testing.B) {
+	return benchTaskHandoffSpans(binaryPlane, nil, failed)
+}
+
+// benchTaskHandoffSpans is benchTaskHandoff against a coordinator with
+// the given span collector — the obs sweep's overhead probe (nil for
+// the untraced baseline, a sampled-off collector for the gate).
+func benchTaskHandoffSpans(binaryPlane bool, spans *span.Collector, failed *atomic.Bool) func(b *testing.B) {
 	return func(b *testing.B) {
-		coord, err := benchCoordinator(32)
+		coord, err := benchCoordinator(32, spans)
 		if err != nil {
 			failed.Store(true)
 			return

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"log"
 
+	"oddci/internal/span"
 	"oddci/internal/stb"
 	"oddci/internal/transport"
 )
@@ -24,6 +25,7 @@ func main() {
 		standby   = flag.Bool("standby", false, "device idle in standby (faster CPU)")
 		keyHex    = flag.String("controller-key", "", "pin the coordinator's ed25519 public key (hex)")
 		seed      = flag.Int64("seed", 1, "probability-gate seed")
+		spanCap   = flag.Int("trace-spans", 1024, "local span ring capacity; also negotiates trace_ctx so the coordinator can parent dispatch/commit spans under this node's requests (0 disables)")
 	)
 	flag.Parse()
 
@@ -32,6 +34,9 @@ func main() {
 		NodeID:    *id,
 		TimeScale: *timescale,
 		Seed:      *seed,
+	}
+	if *spanCap > 0 {
+		cfg.Spans = span.NewCollector(span.Config{Capacity: *spanCap, Seed: *seed})
 	}
 	if *standby {
 		cfg.Mode = stb.Standby

@@ -17,7 +17,9 @@ func Worker(env *dve.Env) error {
 		return nil
 	}
 	for !env.Destroyed() {
-		env.Backend.Send("backend", &TaskRequest{NodeID: env.NodeID}, RequestWireSize)
+		// Propagate the DVE's trace context (the PNA's dve-start span)
+		// so the Backend's dispatch span joins this node's wakeup trace.
+		env.Backend.Send("backend", &TaskRequest{NodeID: env.NodeID, Trace: env.Trace}, RequestWireSize)
 		pkt, err := env.Backend.Recv()
 		if err != nil {
 			return nil // channel closed: DVE destroyed
@@ -27,11 +29,19 @@ func Worker(env *dve.Env) error {
 			if !env.Execute(m.RefSeconds) {
 				return nil // destroyed mid-task: result discarded
 			}
+			// The result parents under the dispatch that assigned it,
+			// falling back to the DVE context against traced backends
+			// reached through an untraced relay.
+			resTrace := m.Trace
+			if !resTrace.Valid() {
+				resTrace = env.Trace
+			}
 			result := &TaskResult{
 				NodeID:  env.NodeID,
 				JobID:   m.JobID,
 				TaskID:  m.TaskID,
 				Payload: runPayload(env, m),
+				Trace:   resTrace,
 			}
 			env.Backend.Send("backend", result, resultOverhead+m.OutputSize)
 			env.NoteTaskDone()

@@ -31,6 +31,7 @@ import (
 	"oddci/internal/netsim"
 	"oddci/internal/obs"
 	"oddci/internal/simtime"
+	"oddci/internal/span"
 )
 
 // HeadEnd is the transmitter-side view of any cyclic file-broadcast
@@ -107,6 +108,12 @@ type Config struct {
 	// the heartbeat-silence health check reports unhealthy while nodes
 	// are tracked (default 3×MaxHeartbeatPeriod).
 	HeartbeatSilence time.Duration
+	// Spans, if set, records causal spans: every wakeup broadcast
+	// (initial and recompositions) starts a root span, published in the
+	// collector's link table under (instance, seq) so joining PNAs can
+	// parent their join spans without widening the signed control
+	// codec. Lifecycle mutations (destroy, trim) record spans too.
+	Spans *span.Collector
 	// Rng seeds sequence jitter; required.
 	Rng *rand.Rand
 	// Journal, if set, makes the control plane durable: lifecycle
@@ -828,6 +835,30 @@ func (c *Controller) emitLocked(ev LifecycleEvent) {
 	}
 }
 
+// wakeupSpanLocked starts the root span of one wakeup broadcast and
+// publishes its context in the collector's link table under
+// (instance, seq), where joining PNAs (same process) or the TCP
+// coordinator's banner (remote nodes) pick it up. Sampling is decided
+// here, at the head of the trace.
+func (c *Controller) wakeupSpanLocked(st *instState, prob float64) {
+	sp := c.cfg.Spans.Root("wakeup", "controller")
+	if sp == nil {
+		return
+	}
+	sp.SetDetail("instance=%d seq=%d p=%.2f", st.id, st.seq, prob)
+	c.cfg.Spans.SetLink(span.LinkKey(uint64(st.id), uint64(st.seq)), sp.Context())
+	sp.End()
+}
+
+// WakeupTraceContext returns the trace context of an instance's most
+// recent wakeup broadcast (zero when untraced or unsampled). The TCP
+// coordinator stamps it into session banners so remote nodes join the
+// same trace the broadcast started.
+func (c *Controller) WakeupTraceContext(id instance.ID, seq uint32) span.Context {
+	ctx, _ := c.cfg.Spans.GetLink(span.LinkKey(uint64(id), uint64(seq)))
+	return ctx
+}
+
 // lookupLocked resolves an instance ID, distinguishing IDs the
 // Controller never issued (ErrUnknownInstance) from instances already
 // garbage-collected after destruction (ErrInstanceGone). A destroyed
@@ -989,6 +1020,7 @@ func (c *Controller) CreateInstance(spec InstanceSpec) (instance.ID, error) {
 	c.met.created.Inc()
 	c.met.wakeups.Inc()
 	c.emitLocked(LifecycleEvent{Kind: LifecycleCreated, Instance: id, Seq: st.seq})
+	c.wakeupSpanLocked(st, prob)
 	if c.cfg.OnWakeup != nil {
 		c.cfg.OnWakeup(id, st.seq, prob)
 	}
@@ -1054,6 +1086,10 @@ func (c *Controller) DestroyInstance(id instance.ID) error {
 	}})
 	c.met.destroyed.Inc()
 	c.emitLocked(LifecycleEvent{Kind: LifecycleDestroyed, Instance: id, Seq: st.seq})
+	if sp := c.cfg.Spans.Root("instance-destroy", "controller"); sp != nil {
+		sp.SetDetail("instance=%d seq=%d", id, st.seq)
+		sp.End()
+	}
 	c.requestRefreshLocked()
 	return nil
 }
@@ -1190,6 +1226,7 @@ func (c *Controller) maintain() {
 				}})
 				c.met.wakeups.Inc()
 				c.emitLocked(LifecycleEvent{Kind: LifecycleRecomposed, Instance: st.id, Seq: st.seq})
+				c.wakeupSpanLocked(st, w.Probability)
 				if c.cfg.OnWakeup != nil {
 					c.cfg.OnWakeup(st.id, st.seq, w.Probability)
 				}
@@ -1347,6 +1384,13 @@ func (c *Controller) HandleHeartbeat(hb *control.Heartbeat) *control.HeartbeatRe
 			c.met.resetsSent.Inc()
 			c.met.trims.Inc()
 			c.emitLocked(LifecycleEvent{Kind: LifecycleTrimmed, Instance: st.id, Node: hb.NodeID, Seq: st.seq})
+			// Trim spans parent under the wakeup that overshot, so the
+			// overshoot is visible in the broadcast's own trace.
+			parent, _ := c.cfg.Spans.GetLink(span.LinkKey(uint64(st.id), uint64(st.seq)))
+			if sp := c.cfg.Spans.Start(parent, "trim", "controller"); sp != nil {
+				sp.SetDetail("node=%d", hb.NodeID)
+				sp.End()
+			}
 		default:
 			if _, member := st.members[hb.NodeID]; !member && !st.joinSinceWakeup {
 				st.joinSinceWakeup = true

@@ -38,7 +38,7 @@ func TestHealthzFlipsWhenRefreshStuck(t *testing.T) {
 		cfg.RefreshRetryBase = 2 * time.Second
 		cfg.RefreshRetryMax = 8 * time.Second
 	})
-	srv := httptest.NewServer(obs.NewHandler(reg, nil))
+	srv := httptest.NewServer(obs.NewHandler(reg, nil, nil))
 	defer srv.Close()
 
 	id, err := r.ctrl.CreateInstance(InstanceSpec{Image: testImage(t), Target: 2, InitialProbability: 0.5})

@@ -23,6 +23,7 @@ import (
 	"oddci/internal/netsim"
 	"oddci/internal/obs"
 	"oddci/internal/simtime"
+	"oddci/internal/span"
 )
 
 // AppFunc is an application behaviour: it runs inside the DVE until the
@@ -64,6 +65,10 @@ type Env struct {
 	// TaskDuration converts a reference-STB processing time to this
 	// device's wall time (the STB performance model).
 	TaskDuration func(refSTBSeconds float64) time.Duration
+	// Trace is the span context the hosting PNA launched this DVE
+	// under; the worker stamps it onto task requests so backend
+	// dispatches join the node's wakeup trace. Zero when untraced.
+	Trace span.Context
 
 	noteTask  func()
 	interrupt simtime.Interrupter
@@ -126,6 +131,8 @@ type Config struct {
 	OnExit func(err error)
 	// OnTask, if set, observes each completed task.
 	OnTask func()
+	// Trace seeds Env.Trace (see there).
+	Trace span.Context
 	// Obs, if set, counts DVE launches, destructions, and app errors
 	// (oddci_dve_* metrics).
 	Obs *obs.Registry
@@ -147,6 +154,7 @@ func Launch(cfg Config) (*DVE, error) {
 		Image:        cfg.Image,
 		Backend:      cfg.Backend,
 		TaskDuration: cfg.TaskDuration,
+		Trace:        cfg.Trace,
 		noteTask:     cfg.OnTask,
 	}
 	d := &DVE{

@@ -31,6 +31,7 @@ import (
 	"oddci/internal/netsim"
 	"oddci/internal/obs"
 	"oddci/internal/simtime"
+	"oddci/internal/span"
 	"oddci/internal/xlet"
 )
 
@@ -68,6 +69,11 @@ type Config struct {
 	// metrics: join/drop/rejection counters, image-load and DVE-start
 	// latency histograms). Agents from one factory share the handles.
 	Obs *obs.Registry
+	// Spans, if set, records join/image-load/dve-start spans. The
+	// wakeup root context is resolved from the collector's link table
+	// (keyed by instance ID and wakeup sequence, published by the
+	// Controller), so the signed control codec never changes shape.
+	Spans *span.Collector
 }
 
 func (c *Config) fill() error {
@@ -163,6 +169,7 @@ type PNA struct {
 	destroyed      bool
 	started        bool
 	joinStartedAt  time.Time // wakeup commitment time (DVE-start latency)
+	joinSpan       *span.Span
 
 	// Drops counts wakeups discarded by the probability gate;
 	// Rejections counts signature/digest failures. Experiment hooks.
@@ -342,16 +349,38 @@ func (p *PNA) handleWakeup(w *control.Wakeup) {
 	hook := p.cfg.OnStateChange
 	p.mu.Unlock()
 	p.met.joins.Inc()
+
+	// Resolve the wakeup broadcast's root span via the link table and
+	// open the join span under it. A miss (old controller, evicted
+	// link, sampled-out trace) degrades to untraced — never an error.
+	rootCtx, _ := p.cfg.Spans.GetLink(span.LinkKey(uint64(w.InstanceID), uint64(w.Seq)))
+	joinSp := p.cfg.Spans.Start(rootCtx, "join", p.nodeName())
+	if joinSp != nil {
+		joinSp.SetDetail("instance=%d seq=%d", w.InstanceID, w.Seq)
+		p.mu.Lock()
+		p.joinSpan = joinSp
+		p.mu.Unlock()
+	}
 	if hook != nil {
 		hook(p.cfg.NodeID, control.StateBusy, w.InstanceID)
 	}
 
+	imgSp := p.cfg.Spans.Start(joinSp.Context(), "image-load", p.nodeName())
 	ctx.ReadFile(w.ImageFile, func(data []byte, err error) {
 		if err != nil {
+			imgSp.SetError()
+			imgSp.End()
 			p.abortJoin(w.InstanceID, fmt.Errorf("image fetch: %w", err))
 			return
 		}
-		p.met.imageLoad.ObserveDuration(clk.Now().Sub(start))
+		loadDur := clk.Now().Sub(start)
+		if imgSp != nil {
+			imgSp.SetDetail("bytes=%d file=%s", len(data), w.ImageFile)
+			imgSp.End()
+			p.met.imageLoad.ObserveWithExemplar(loadDur.Seconds(), joinSp.Context().Trace.String())
+		} else {
+			p.met.imageLoad.ObserveDuration(loadDur)
+		}
 		img, err := appimage.Verify(data, w.ImageDigest)
 		if err != nil {
 			p.mu.Lock()
@@ -363,6 +392,17 @@ func (p *PNA) handleWakeup(w *control.Wakeup) {
 		}
 		p.launchDVE(w, img)
 	})
+}
+
+func (p *PNA) nodeName() string { return fmt.Sprintf("node-%d", p.cfg.NodeID) }
+
+// takeJoinSpan detaches the open join span (if any) for ending.
+func (p *PNA) takeJoinSpan() *span.Span {
+	p.mu.Lock()
+	sp := p.joinSpan
+	p.joinSpan = nil
+	p.mu.Unlock()
+	return sp
 }
 
 // abortJoin reverts a failed join to idle.
@@ -377,6 +417,10 @@ func (p *PNA) abortJoin(id instance.ID, _ error) {
 	hook := p.cfg.OnStateChange
 	p.mu.Unlock()
 	p.met.aborts.Inc()
+	if sp := p.takeJoinSpan(); sp != nil {
+		sp.SetError()
+		sp.End()
+	}
 	if hook != nil {
 		hook(p.cfg.NodeID, control.StateIdle, 0)
 	}
@@ -390,12 +434,20 @@ func (p *PNA) launchDVE(w *control.Wakeup, img *appimage.Image) {
 		return
 	}
 	clk := p.ctx.Clock()
+	joinSp := p.joinSpan
 	p.mu.Unlock()
 
+	dveSp := p.cfg.Spans.Start(joinSp.Context(), "dve-start", p.nodeName())
 	var backend *netsim.Endpoint
 	var hangup func()
 	if p.cfg.DialBackend != nil {
 		backend, hangup = p.cfg.DialBackend()
+	}
+	// Hand the DVE the dve-start span's context (falling back to the
+	// join context) so worker task requests parent under this launch.
+	dveTrace := dveSp.Context()
+	if !dveTrace.Valid() {
+		dveTrace = joinSp.Context()
 	}
 	d, err := dve.Launch(dve.Config{
 		Clock:        clk,
@@ -407,6 +459,7 @@ func (p *PNA) launchDVE(w *control.Wakeup, img *appimage.Image) {
 		Hangup:       hangup,
 		TaskDuration: p.cfg.TaskDuration,
 		Obs:          p.cfg.Obs,
+		Trace:        dveTrace,
 		OnTask: func() {
 			p.mu.Lock()
 			p.tasksDone++
@@ -418,6 +471,8 @@ func (p *PNA) launchDVE(w *control.Wakeup, img *appimage.Image) {
 		if hangup != nil {
 			hangup()
 		}
+		dveSp.SetError()
+		dveSp.End()
 		p.mu.Lock()
 		p.Rejections++
 		p.mu.Unlock()
@@ -428,16 +483,27 @@ func (p *PNA) launchDVE(w *control.Wakeup, img *appimage.Image) {
 	p.mu.Lock()
 	if p.destroyed {
 		p.mu.Unlock()
+		dveSp.End()
 		d.Destroy()
 		return
 	}
 	p.d = d
-	p.met.dveStart.ObserveDuration(clk.Now().Sub(p.joinStartedAt))
+	startDur := clk.Now().Sub(p.joinStartedAt)
+	if dveSp != nil {
+		dveSp.SetDetail("entry=%s", img.EntryPoint)
+		p.met.dveStart.ObserveWithExemplar(startDur.Seconds(), dveSp.Context().Trace.String())
+	} else {
+		p.met.dveStart.ObserveDuration(startDur)
+	}
 	if w.Lifetime > 0 {
 		id := w.InstanceID
 		p.lifetimeTimer = clk.AfterFunc(w.Lifetime, func() { p.resetInstance(id) })
 	}
 	p.mu.Unlock()
+	dveSp.End()
+	if sp := p.takeJoinSpan(); sp != nil {
+		sp.End()
+	}
 }
 
 // handleReset applies a broadcast reset.

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"strconv"
@@ -9,20 +10,52 @@ import (
 
 // TimelineSource is what /timeline needs from a trace recorder; the
 // trace package's Recorder satisfies it (Render), kept as an interface
-// so obs stays dependency-free.
+// so obs stays dependency-free. A source that also implements
+// jsonlSource (trace.Recorder does) unlocks /timeline?format=jsonl.
 type TimelineSource interface {
 	Render(limit int) string
 }
 
+// jsonlSource is the optional streaming face of a timeline source.
+type jsonlSource interface {
+	WriteJSONL(w io.Writer) error
+}
+
+// TraceSource is what /trace needs from a span collector; the span
+// package's Collector satisfies it, kept as an interface so obs stays
+// dependency-free.
+type TraceSource interface {
+	// RenderTraces renders an index of the most recent limit traces.
+	RenderTraces(limit int) string
+	// RenderTrace renders one trace's waterfall by ID (or ≥8-hex
+	// prefix); ok is false when the trace is not retained.
+	RenderTrace(id string) (string, bool)
+	// WriteJSONL streams every retained span, one JSON object per line.
+	WriteJSONL(w io.Writer) error
+}
+
+// jsonlContentType labels newline-delimited JSON exports.
+const jsonlContentType = "application/x-ndjson; charset=utf-8"
+
 // NewHandler builds the coordinator's observability mux:
 //
-//	/metrics   Prometheus text exposition format
-//	/varz      expvar-style JSON snapshot
-//	/healthz   200 "ok" when every registered check passes, else 503
-//	           with one "name: error" line per failing check
-//	/timeline  recent trace events (?limit=N, default 100), if a
-//	           timeline source is wired (404 otherwise)
-func NewHandler(reg *Registry, timeline TimelineSource) http.Handler {
+//	/metrics     Prometheus text exposition format
+//	/varz        expvar-style JSON snapshot (histogram buckets carry
+//	             trace-ID exemplars when tracing is on)
+//	/healthz     200 "ok" when every registered check passes, else 503
+//	             with one "name: error" line per failing check
+//	/timeline    recent trace events (?limit=N, default 100;
+//	             ?format=jsonl streams them as NDJSON), if a timeline
+//	             source is wired (404 otherwise)
+//	/trace       recent distributed traces, one summary line each
+//	             (?limit=N, default 50; ?format=jsonl exports every
+//	             retained span), if a trace source is wired
+//	/trace/{id}  one trace's span waterfall, by full 32-hex trace ID
+//	             or a unique ≥8-hex prefix
+//
+// The returned mux is open for extension (the coordinator CLI mounts
+// net/http/pprof on it behind a flag).
+func NewHandler(reg *Registry, timeline TimelineSource, traces TraceSource) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -54,17 +87,65 @@ func NewHandler(reg *Registry, timeline TimelineSource) http.Handler {
 			http.NotFound(w, req)
 			return
 		}
-		limit := 100
-		if raw := req.URL.Query().Get("limit"); raw != "" {
-			n, err := strconv.Atoi(raw)
-			if err != nil {
-				http.Error(w, "bad limit", http.StatusBadRequest)
+		if req.URL.Query().Get("format") == "jsonl" {
+			js, ok := timeline.(jsonlSource)
+			if !ok {
+				http.Error(w, "timeline source has no JSONL export", http.StatusNotImplemented)
 				return
 			}
-			limit = n
+			w.Header().Set("Content-Type", jsonlContentType)
+			js.WriteJSONL(w)
+			return
+		}
+		limit, ok := parseLimit(w, req, 100)
+		if !ok {
+			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, timeline.Render(limit))
 	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
+		if traces == nil {
+			http.NotFound(w, req)
+			return
+		}
+		if req.URL.Query().Get("format") == "jsonl" {
+			w.Header().Set("Content-Type", jsonlContentType)
+			traces.WriteJSONL(w)
+			return
+		}
+		limit, ok := parseLimit(w, req, 50)
+		if !ok {
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, traces.RenderTraces(limit))
+	})
+	mux.HandleFunc("/trace/{id}", func(w http.ResponseWriter, req *http.Request) {
+		if traces == nil {
+			http.NotFound(w, req)
+			return
+		}
+		out, ok := traces.RenderTrace(req.PathValue("id"))
+		if !ok {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, out)
+	})
 	return mux
+}
+
+func parseLimit(w http.ResponseWriter, req *http.Request, def int) (int, bool) {
+	raw := req.URL.Query().Get("limit")
+	if raw == "" {
+		return def, true
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil {
+		http.Error(w, "bad limit", http.StatusBadRequest)
+		return 0, false
+	}
+	return n, true
 }

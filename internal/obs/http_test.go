@@ -32,7 +32,7 @@ func get(t *testing.T, srv *httptest.Server, path string) (int, string, http.Hea
 func TestHandlerMetricsAndVarz(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("oddci_demo_total", "a demo counter").Add(2)
-	srv := httptest.NewServer(NewHandler(r, nil))
+	srv := httptest.NewServer(NewHandler(r, nil, nil))
 	defer srv.Close()
 
 	code, body, hdr := get(t, srv, "/metrics")
@@ -65,7 +65,7 @@ func TestHandlerHealthz(t *testing.T) {
 		}
 		return errors.New("broken")
 	})
-	srv := httptest.NewServer(NewHandler(r, nil))
+	srv := httptest.NewServer(NewHandler(r, nil, nil))
 	defer srv.Close()
 
 	code, body, _ := get(t, srv, "/healthz")
@@ -84,14 +84,14 @@ func TestHandlerHealthz(t *testing.T) {
 
 func TestHandlerTimeline(t *testing.T) {
 	r := NewRegistry()
-	srv := httptest.NewServer(NewHandler(r, nil))
+	srv := httptest.NewServer(NewHandler(r, nil, nil))
 	code, _, _ := get(t, srv, "/timeline")
 	srv.Close()
 	if code != http.StatusNotFound {
 		t.Fatalf("/timeline without source = %d, want 404", code)
 	}
 
-	srv = httptest.NewServer(NewHandler(r, fakeTimeline{}))
+	srv = httptest.NewServer(NewHandler(r, fakeTimeline{}, nil))
 	defer srv.Close()
 	code, body, _ := get(t, srv, "/timeline")
 	if code != http.StatusOK || body != "timeline limit=100\n" {
@@ -104,5 +104,89 @@ func TestHandlerTimeline(t *testing.T) {
 	code, _, _ = get(t, srv, "/timeline?limit=x")
 	if code != http.StatusBadRequest {
 		t.Fatalf("/timeline?limit=x = %d, want 400", code)
+	}
+}
+
+// fakeTimelineJSONL is a timeline source with the optional JSONL face.
+type fakeTimelineJSONL struct{ fakeTimeline }
+
+func (fakeTimelineJSONL) WriteJSONL(w io.Writer) error {
+	_, err := io.WriteString(w, `{"at":"t0","kind":"wakeup"}`+"\n")
+	return err
+}
+
+func TestHandlerTimelineJSONL(t *testing.T) {
+	r := NewRegistry()
+
+	// A plain source has no JSONL export: 501, not a panic.
+	srv := httptest.NewServer(NewHandler(r, fakeTimeline{}, nil))
+	code, _, _ := get(t, srv, "/timeline?format=jsonl")
+	srv.Close()
+	if code != http.StatusNotImplemented {
+		t.Fatalf("/timeline?format=jsonl without JSONL source = %d, want 501", code)
+	}
+
+	srv = httptest.NewServer(NewHandler(r, fakeTimelineJSONL{}, nil))
+	defer srv.Close()
+	code, body, hdr := get(t, srv, "/timeline?format=jsonl")
+	if code != http.StatusOK {
+		t.Fatalf("/timeline?format=jsonl = %d, want 200", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "application/x-ndjson") {
+		t.Fatalf("/timeline?format=jsonl content type = %q, want application/x-ndjson", ct)
+	}
+	if !strings.Contains(body, `"kind":"wakeup"`) {
+		t.Fatalf("/timeline?format=jsonl body = %q", body)
+	}
+}
+
+// fakeTraces is a minimal TraceSource double.
+type fakeTraces struct{}
+
+func (fakeTraces) RenderTraces(limit int) string { return fmt.Sprintf("traces limit=%d\n", limit) }
+func (fakeTraces) RenderTrace(id string) (string, bool) {
+	if id == "deadbeef" {
+		return "trace deadbeef\n", true
+	}
+	return "", false
+}
+func (fakeTraces) WriteJSONL(w io.Writer) error {
+	_, err := io.WriteString(w, `{"trace":"deadbeef"}`+"\n")
+	return err
+}
+
+func TestHandlerTrace(t *testing.T) {
+	r := NewRegistry()
+	srv := httptest.NewServer(NewHandler(r, nil, nil))
+	code, _, _ := get(t, srv, "/trace")
+	srv.Close()
+	if code != http.StatusNotFound {
+		t.Fatalf("/trace without source = %d, want 404", code)
+	}
+
+	srv = httptest.NewServer(NewHandler(r, nil, fakeTraces{}))
+	defer srv.Close()
+	code, body, _ := get(t, srv, "/trace")
+	if code != http.StatusOK || body != "traces limit=50\n" {
+		t.Fatalf("/trace = %d %q, want default limit 50", code, body)
+	}
+	code, body, _ = get(t, srv, "/trace?limit=3")
+	if code != http.StatusOK || body != "traces limit=3\n" {
+		t.Fatalf("/trace?limit=3 = %d %q", code, body)
+	}
+	code, body, hdr := get(t, srv, "/trace?format=jsonl")
+	if code != http.StatusOK || !strings.Contains(body, `"trace":"deadbeef"`) {
+		t.Fatalf("/trace?format=jsonl = %d %q", code, body)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "application/x-ndjson") {
+		t.Fatalf("/trace?format=jsonl content type = %q", ct)
+	}
+	code, body, _ = get(t, srv, "/trace/deadbeef")
+	if code != http.StatusOK || body != "trace deadbeef\n" {
+		t.Fatalf("/trace/deadbeef = %d %q", code, body)
+	}
+	code, _, _ = get(t, srv, "/trace/unknown99")
+	if code != http.StatusNotFound {
+		t.Fatalf("/trace/unknown99 = %d, want 404", code)
 	}
 }

@@ -114,6 +114,11 @@ type Histogram struct {
 	counts []atomic.Int64 // len(bounds)+1, last is the +Inf bucket
 	count  atomic.Int64
 	sumμs  atomic.Int64 // sum in microseconds: atomic add without a CAS loop
+	// exemplars retains, per bucket, the trace ID of the last sampled
+	// observation that landed there — the metrics→traces link. Lazily
+	// allocated on the first ObserveWithExemplar, so histograms on
+	// untraced deployments pay nothing.
+	exemplars atomic.Pointer[[]atomic.Pointer[string]]
 }
 
 // Observe records one value (in seconds for latency histograms).
@@ -125,6 +130,51 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[i].Add(1)
 	h.count.Add(1)
 	h.sumμs.Add(int64(v * 1e6))
+}
+
+// ObserveWithExemplar records v and pins exemplar (a trace ID) to the
+// bucket v lands in, so a /varz reader can jump from a latency bucket
+// straight to the trace that produced its most recent sample. An empty
+// exemplar degrades to a plain Observe.
+func (h *Histogram) ObserveWithExemplar(v float64, exemplar string) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	if exemplar == "" {
+		return
+	}
+	slots := h.exemplars.Load()
+	if slots == nil {
+		fresh := make([]atomic.Pointer[string], len(h.bounds)+1)
+		if !h.exemplars.CompareAndSwap(nil, &fresh) {
+			slots = h.exemplars.Load()
+		} else {
+			slots = &fresh
+		}
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	(*slots)[i].Store(&exemplar)
+}
+
+// Exemplars returns the per-bucket exemplar trace IDs (aligned with the
+// snapshot's Counts; empty strings where no sampled observation landed),
+// or nil when no exemplar was ever recorded.
+func (h *Histogram) Exemplars() []string {
+	if h == nil {
+		return nil
+	}
+	slots := h.exemplars.Load()
+	if slots == nil {
+		return nil
+	}
+	out := make([]string, len(*slots))
+	for i := range *slots {
+		if p := (*slots)[i].Load(); p != nil {
+			out[i] = *p
+		}
+	}
+	return out
 }
 
 // ObserveDuration records d as seconds.
@@ -202,6 +252,9 @@ type HistogramSnapshot struct {
 	P50    float64   `json:"p50"`
 	P90    float64   `json:"p90"`
 	P99    float64   `json:"p99"`
+	// Exemplars holds, per bucket, the trace ID of the last sampled
+	// observation (empty where none; nil when tracing is off).
+	Exemplars []string `json:"exemplars,omitempty"`
 }
 
 // HealthCheck reports nil when healthy, or an error describing the
@@ -419,13 +472,14 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for _, h := range hists {
 		hs := HistogramSnapshot{
-			Bounds: h.bounds,
-			Counts: make([]int64, len(h.counts)),
-			Count:  h.Count(),
-			Sum:    h.Sum(),
-			P50:    h.Quantile(0.50),
-			P90:    h.Quantile(0.90),
-			P99:    h.Quantile(0.99),
+			Bounds:    h.bounds,
+			Counts:    make([]int64, len(h.counts)),
+			Count:     h.Count(),
+			Sum:       h.Sum(),
+			P50:       h.Quantile(0.50),
+			P90:       h.Quantile(0.90),
+			P99:       h.Quantile(0.99),
+			Exemplars: h.Exemplars(),
 		}
 		for i := range h.counts {
 			hs.Counts[i] = h.counts[i].Load()
@@ -450,9 +504,29 @@ func (s Snapshot) RenderJSON() string {
 	b.WriteString("\n },\n \"histograms\": {")
 	writeSorted(&b, sortedKeys(s.Histograms), func(b *strings.Builder, k string) {
 		h := s.Histograms[k]
-		fmt.Fprintf(b, "\n  %q: {\"count\": %d, \"sum\": %s, \"p50\": %s, \"p90\": %s, \"p99\": %s}",
+		fmt.Fprintf(b, "\n  %q: {\"count\": %d, \"sum\": %s, \"p50\": %s, \"p90\": %s, \"p99\": %s",
 			k, h.Count, formatJSONFloat(h.Sum),
 			formatJSONFloat(h.P50), formatJSONFloat(h.P90), formatJSONFloat(h.P99))
+		if len(h.Exemplars) > 0 {
+			b.WriteString(", \"exemplars\": {")
+			first := true
+			for i, ex := range h.Exemplars {
+				if ex == "" {
+					continue
+				}
+				le := "+Inf"
+				if i < len(h.Bounds) {
+					le = formatPromFloat(h.Bounds[i])
+				}
+				if !first {
+					b.WriteString(", ")
+				}
+				first = false
+				fmt.Fprintf(b, "%q: %q", le, ex)
+			}
+			b.WriteByte('}')
+		}
+		b.WriteByte('}')
 	})
 	b.WriteString("\n }\n}\n")
 	return b.String()

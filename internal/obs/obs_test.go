@@ -283,3 +283,78 @@ func TestConcurrentRegistry(t *testing.T) {
 		t.Fatalf("histogram count = %d, want %d", got, workers*iters)
 	}
 }
+
+func TestQuantileEdgeCases(t *testing.T) {
+	r := NewRegistry()
+
+	// Zero observations: the estimator must not divide by the count.
+	empty := r.Histogram("edge_empty", "no observations", []float64{1, 2})
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Fatalf("Quantile on empty histogram = %v, want 0", got)
+	}
+
+	// A single observation above the top bucket lands in +Inf; every
+	// quantile clamps to the highest finite bound instead of inventing
+	// an unbounded estimate.
+	over := r.Histogram("edge_over", "one overflow observation", []float64{1, 2})
+	over.Observe(100)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := over.Quantile(q); got != 2 {
+			t.Fatalf("Quantile(%v) with only an overflow sample = %v, want top bound 2", q, got)
+		}
+	}
+
+	// An observation exactly on a bucket boundary counts into that
+	// bound's bucket (SearchFloat64s: first bound ≥ v), and the
+	// interpolation of a full bucket reaches the boundary exactly.
+	edge := r.Histogram("edge_boundary", "exact boundary observation", []float64{1, 2})
+	edge.Observe(1)
+	if got := edge.Quantile(1); got != 1 {
+		t.Fatalf("Quantile(1) of one boundary observation = %v, want 1", got)
+	}
+
+	// Out-of-range q clamps rather than extrapolating.
+	if got := edge.Quantile(-3); got != edge.Quantile(0) {
+		t.Fatalf("Quantile(-3) = %v, want clamp to Quantile(0) = %v", got, edge.Quantile(0))
+	}
+	if got := edge.Quantile(7); got != edge.Quantile(1) {
+		t.Fatalf("Quantile(7) = %v, want clamp to Quantile(1) = %v", got, edge.Quantile(1))
+	}
+}
+
+func TestHistogramExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("exemplar_hist", "exemplar linkage", []float64{1, 2})
+	if h.Exemplars() != nil {
+		t.Fatal("exemplars non-nil before any ObserveWithExemplar")
+	}
+	h.ObserveWithExemplar(0.5, "trace-a")
+	h.ObserveWithExemplar(0.7, "trace-b") // same bucket: latest wins
+	h.ObserveWithExemplar(50, "trace-inf")
+	h.ObserveWithExemplar(1.5, "") // empty exemplar degrades to Observe
+	ex := h.Exemplars()
+	want := []string{"trace-b", "", "trace-inf"}
+	if len(ex) != len(want) {
+		t.Fatalf("exemplar slots = %d, want %d", len(ex), len(want))
+	}
+	for i := range want {
+		if ex[i] != want[i] {
+			t.Fatalf("exemplar[%d] = %q, want %q", i, ex[i], want[i])
+		}
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4 (empty exemplar still observes)", h.Count())
+	}
+
+	// The /varz snapshot carries the exemplar map on the histogram.
+	out := r.RenderJSON()
+	for _, frag := range []string{`"exemplars"`, `"trace-b"`, `"trace-inf"`, `"+Inf"`} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("RenderJSON missing %s:\n%s", frag, out)
+		}
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(out), &decoded); err != nil {
+		t.Fatalf("RenderJSON with exemplars is not valid JSON: %v\n%s", err, out)
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"oddci/internal/netsim"
 	"oddci/internal/obs"
 	"oddci/internal/simtime"
+	"oddci/internal/span"
 	"oddci/internal/stb"
 	"oddci/internal/trace"
 )
@@ -78,6 +79,11 @@ type Config struct {
 	// (oddci_controller_*, oddci_backend_*, oddci_pna_*, oddci_dve_*,
 	// oddci_dsmcc_*, oddci_netsim_*).
 	Obs *obs.Registry
+	// Spans, if set, records end-to-end causal traces: wakeup
+	// broadcasts start root spans, PNAs hang join/image-load/dve-start
+	// under them, and the Backend closes each tree with
+	// dispatch/lease-expiry/commit spans.
+	Spans *span.Collector
 	// HeadEndFaults, if set, injects failures into the Controller's
 	// carousel updates (not into the receivers), exercising the
 	// refresh-retry path. Start is never injected.
@@ -271,6 +277,7 @@ func New(cfg Config) (*System, error) {
 		RefreshRetryBase:     cfg.RefreshRetryBase,
 		RefreshRetryMax:      cfg.RefreshRetryMax,
 		Obs:                  cfg.Obs,
+		Spans:                cfg.Spans,
 		OnLifecycle:          onLifecycle,
 		OnWakeup: func(id instance.ID, seq uint32, probability float64) {
 			if cfg.Trace != nil {
@@ -296,7 +303,7 @@ func New(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	be, err := backend.New(backend.Config{Clock: clk, Replication: cfg.Replication, Obs: cfg.Obs})
+	be, err := backend.New(backend.Config{Clock: clk, Replication: cfg.Replication, Obs: cfg.Obs, Spans: cfg.Spans})
 	if err != nil {
 		return nil, err
 	}
@@ -375,6 +382,7 @@ func New(cfg Config) (*System, error) {
 			DefaultHeartbeat: cfg.HeartbeatPeriod,
 			OnStateChange:    s.noteState,
 			Obs:              cfg.Obs,
+			Spans:            cfg.Spans,
 		})
 		if err != nil {
 			return nil, err

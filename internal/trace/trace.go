@@ -11,6 +11,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"oddci/internal/simtime"
 )
 
 // Kind classifies an event.
@@ -78,6 +80,11 @@ type Event struct {
 // Recorder is a bounded, concurrency-safe event buffer. Once full, the
 // oldest events are dropped (Dropped counts them).
 type Recorder struct {
+	// clk stamps events recorded without an explicit At. It is the
+	// injected deployment clock, never time.Now() directly, so
+	// frozen-sim replays render byte-identical timelines.
+	clk simtime.Clock
+
 	mu      sync.Mutex
 	buf     []Event
 	start   int
@@ -95,11 +102,24 @@ func NewRecorder(max int) *Recorder {
 	if max <= 0 {
 		max = 4096
 	}
-	return &Recorder{buf: make([]Event, max), tallies: make(map[Kind]int)}
+	return &Recorder{clk: simtime.NewReal(), buf: make([]Event, max), tallies: make(map[Kind]int)}
 }
 
-// Record appends one event.
+// WithClock rebinds the stamping clock (the deployment's simtime.Clock)
+// and returns r for chaining. Call before recording starts.
+func (r *Recorder) WithClock(clk simtime.Clock) *Recorder {
+	if clk != nil {
+		r.clk = clk
+	}
+	return r
+}
+
+// Record appends one event. A zero At is stamped from the recorder's
+// injected clock — the only time source this package ever consults.
 func (r *Recorder) Record(ev Event) {
+	if ev.At.IsZero() {
+		ev.At = r.clk.Now()
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.count == len(r.buf) {

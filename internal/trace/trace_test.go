@@ -1,6 +1,8 @@
 package trace
 
 import (
+	"oddci/internal/simtime"
+
 	"encoding/json"
 	"strings"
 	"testing"
@@ -123,5 +125,39 @@ func TestKindStrings(t *testing.T) {
 		if k.String() != want {
 			t.Errorf("%d → %q", k, k.String())
 		}
+	}
+}
+
+// TestClockStampedFrozenSimReplay drives two identical simulated-clock
+// runs recording events *without* explicit timestamps: the recorder
+// must stamp them from its injected clock (never the wall clock), so
+// both timelines render byte-identical.
+func TestClockStampedFrozenSimReplay(t *testing.T) {
+	run := func() string {
+		sim := simtime.NewSim(epoch)
+		r := NewRecorder(16).WithClock(sim)
+		r.Record(Event{Kind: KindWakeup, Instance: 1, Detail: "seq=1 p=0.50"})
+		sim.AfterFunc(1500*time.Millisecond, func() {
+			r.Record(Event{Kind: KindJoin, Node: 7, Instance: 1})
+		})
+		sim.AfterFunc(4*time.Second, func() {
+			r.Record(Event{Kind: KindLeave, Node: 7})
+		})
+		sim.Wait()
+		return r.Render(0)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("frozen-sim replays differ:\n--- a ---\n%s--- b ---\n%s", a, b)
+	}
+	for _, want := range []string{"1.5s", "4s", "join", "leave"} {
+		if !strings.Contains(a, want) {
+			t.Fatalf("render missing %q:\n%s", want, a)
+		}
+	}
+	// Wall-clock stamping would put all three events microseconds apart;
+	// the injected sim clock spaces them exactly as scheduled.
+	if strings.Count(a, "0s") > 1 {
+		t.Fatalf("events collapsed onto the wall clock:\n%s", a)
 	}
 }

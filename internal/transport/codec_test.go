@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"oddci/internal/span"
 )
 
 func TestTaskPlaneCodecRoundTrip(t *testing.T) {
@@ -262,5 +264,89 @@ func BenchmarkJSONTaskCodec(b *testing.B) {
 		if err := json.Unmarshal(raw, &out); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// Trace-suffix round trips: each task-plane message must carry an
+// optional span context and re-encode bit-exactly, while base-length
+// (untraced, PR 5-era) encodings still decode with a zero context.
+func TestTaskPlaneCodecTraceSuffix(t *testing.T) {
+	ctx := span.Context{Trace: span.TraceID{0xDEADBEEF, 0xCAFED00D}, Span: 0x1234, Sampled: true}
+
+	req := TaskRequestMsg{NodeID: 7, Trace: ctx}
+	raw := AppendTaskRequest(nil, &req)
+	if len(raw) != 8+span.EncodedLen {
+		t.Fatalf("traced request length = %d, want %d", len(raw), 8+span.EncodedLen)
+	}
+	out := TaskRequestMsg{Trace: span.Context{Span: 99}} // stale reused target
+	if err := DecodeTaskRequest(raw, &out); err != nil || out != req {
+		t.Fatalf("traced request round trip: %+v err=%v", out, err)
+	}
+	// Base-length frame into the same reused target must zero the trace.
+	if err := DecodeTaskRequest(raw[:8], &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Trace.Valid() {
+		t.Fatalf("base-length request left stale trace %+v", out.Trace)
+	}
+
+	assign := TaskAssignMsg{JobID: 2, TaskID: 5, RefSeconds: 1.5, OutputSize: 64,
+		Payload: []byte("in"), Trace: ctx}
+	rawA := AppendTaskAssign(nil, &assign)
+	var outA TaskAssignMsg
+	if err := DecodeTaskAssign(rawA, &outA); err != nil {
+		t.Fatal(err)
+	}
+	if outA.Trace != ctx || !bytes.Equal(AppendTaskAssign(nil, &outA), rawA) {
+		t.Fatalf("traced assign not canonical: %+v", outA)
+	}
+	if err := DecodeTaskAssign(rawA[:len(rawA)-span.EncodedLen], &outA); err != nil {
+		t.Fatal(err)
+	}
+	if outA.Trace.Valid() || !bytes.Equal(outA.Payload, assign.Payload) {
+		t.Fatalf("base-length assign: trace=%+v payload=%q", outA.Trace, outA.Payload)
+	}
+
+	res := TaskResultMsg{NodeID: 7, JobID: 2, TaskID: 5, Payload: []byte("out"), Trace: ctx}
+	rawR := AppendTaskResult(nil, &res)
+	var outR TaskResultMsg
+	if err := DecodeTaskResult(rawR, &outR); err != nil {
+		t.Fatal(err)
+	}
+	if outR.Trace != ctx || !bytes.Equal(AppendTaskResult(nil, &outR), rawR) {
+		t.Fatalf("traced result not canonical: %+v", outR)
+	}
+	if err := DecodeTaskResult(rawR[:len(rawR)-span.EncodedLen], &outR); err != nil {
+		t.Fatal(err)
+	}
+	if outR.Trace.Valid() {
+		t.Fatalf("base-length result left stale trace %+v", outR.Trace)
+	}
+
+	// A suffix with unknown flag bits is rejected, not silently decoded.
+	bad := append([]byte(nil), raw...)
+	bad[len(bad)-1] = 0xFF
+	if err := DecodeTaskRequest(bad, &out); err == nil {
+		t.Fatal("request with junk trace flags accepted")
+	}
+	badA := append([]byte(nil), rawA...)
+	badA[len(badA)-1] = 0xFF
+	if err := DecodeTaskAssign(badA, &outA); err == nil {
+		t.Fatal("assign with junk trace flags accepted")
+	}
+	badR := append([]byte(nil), rawR...)
+	badR[len(badR)-1] = 0xFF
+	if err := DecodeTaskResult(badR, &outR); err == nil {
+		t.Fatal("result with junk trace flags accepted")
+	}
+
+	// JSON leg (ForceJSON nodes): the context survives marshal/unmarshal.
+	j, err := json.Marshal(&req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var outJ TaskRequestMsg
+	if err := json.Unmarshal(j, &outJ); err != nil || outJ.Trace != ctx {
+		t.Fatalf("json trace round trip: %+v err=%v", outJ.Trace, err)
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"oddci/internal/journal"
 	"oddci/internal/obs"
 	"oddci/internal/simtime"
+	"oddci/internal/span"
 	"oddci/internal/workload"
 )
 
@@ -49,6 +50,17 @@ type CoordinatorConfig struct {
 	// oddci_backend_*) and registers the heartbeat-silence health
 	// check.
 	Obs *obs.Registry
+	// Spans, if set, enables end-to-end causal tracing: the wakeup on
+	// the wire starts a root span whose context rides in the banner
+	// (capability-negotiated via trace_ctx, like the binary task
+	// plane), node sessions record under it, and the backend closes
+	// each task's tree with dispatch/lease-expiry/commit spans.
+	Spans *span.Collector
+	// RetryAfter is the backend's no-task polling hint (default 1 s).
+	RetryAfter time.Duration
+	// LeaseBase is the backend's minimum task lease (default 30 s);
+	// fault-injection tests shorten it to force lease-expiry retries.
+	LeaseBase time.Duration
 	// HeartbeatSilence is how long the coordinator tolerates hearing no
 	// heartbeat (while nodes are connected) before the heartbeat-silence
 	// health check fails (default 3× HeartbeatPeriod).
@@ -161,6 +173,11 @@ type Coordinator struct {
 	broadcast    []byte
 	hbReplyFrame []byte
 	encodeOps    atomic.Int64
+
+	// wakeupCtx is the root wakeup span's context — one constant per
+	// coordinator lifetime, so the banner carrying it stays a shared
+	// pre-encoded buffer. Zero when tracing is off or unsampled.
+	wakeupCtx span.Context
 
 	// Session accounting: atomics and a striped node set, so heartbeats
 	// from N sessions never serialize on one coordinator-global mutex.
@@ -289,11 +306,18 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	if cfg.HeartbeatSilence <= 0 {
 		cfg.HeartbeatSilence = 3 * cfg.HeartbeatPeriod
 	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.LeaseBase <= 0 {
+		cfg.LeaseBase = 30 * time.Second
+	}
 	be, err := backend.New(backend.Config{
 		Clock:      cfg.Clock,
-		RetryAfter: time.Second,
-		LeaseBase:  30 * time.Second,
+		RetryAfter: cfg.RetryAfter,
+		LeaseBase:  cfg.LeaseBase,
 		Obs:        cfg.Obs,
+		Spans:      cfg.Spans,
 	})
 	if err != nil {
 		return nil, err
@@ -316,10 +340,23 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		nodes:     newNodeSet(),
 	}
 
+	// The wakeup on the wire roots the deployment's trace. Its context
+	// rides in the banner — one constant value for the coordinator's
+	// lifetime, so the encode-once invariant below survives tracing.
+	if wakeupSp := cfg.Spans.Root("wakeup", "coordinator"); wakeupSp != nil {
+		wakeupSp.SetDetail("instance=1 seq=%d p=%.2f", seq, cfg.Probability)
+		cfg.Spans.SetLink(span.LinkKey(1, uint64(seq)), wakeupSp.Context())
+		c.wakeupCtx = wakeupSp.Context()
+		wakeupSp.End()
+	}
+
 	// Encode-once broadcast staging: banner, control file, and image
 	// are marshaled exactly once here, independent of how many
 	// sessions will replay them.
-	bannerRaw, err := json.Marshal(&Banner{ControllerKey: c.pub, Name: cfg.Name, TaskBin: true})
+	bannerRaw, err := json.Marshal(&Banner{
+		ControllerKey: c.pub, Name: cfg.Name, TaskBin: true,
+		TraceCtx: cfg.Spans != nil, Trace: c.wakeupCtx,
+	})
 	if err != nil {
 		c.Close()
 		return nil, err
@@ -420,6 +457,10 @@ func (c *Coordinator) Recovered() bool { return c.recovered }
 
 // Backend exposes the scheduler for job submission.
 func (c *Coordinator) Backend() *backend.Backend { return c.be }
+
+// WakeupTraceContext returns the root wakeup span's context (zero when
+// tracing is off or the trace was not sampled).
+func (c *Coordinator) WakeupTraceContext() span.Context { return c.wakeupCtx }
 
 // HeartbeatCount returns how many heartbeats sessions have consumed.
 func (c *Coordinator) HeartbeatCount() int64 { return c.heartbeats.Load() }
@@ -563,6 +604,14 @@ func (c *Coordinator) session(conn net.Conn) {
 	c.nodes.Add(hello.NodeID)
 	c.met.sessions.Inc()
 
+	// Outbound trace contexts are capability-negotiated like the binary
+	// task plane: an untraced node's strict decoders expect base-length
+	// frames, so suffixes only flow when its hello advertised trace_ctx.
+	traceOK := hello.TraceCtx && c.cfg.Spans != nil
+	sessSp := c.cfg.Spans.Start(c.wakeupCtx, "session", "coordinator")
+	sessSp.SetDetail("node=%d trace_ctx=%t", hello.NodeID, hello.TraceCtx)
+	defer sessSp.End()
+
 	if _, err := bw.Write(c.broadcast); err != nil {
 		return
 	}
@@ -608,6 +657,9 @@ func (c *Coordinator) session(conn net.Conn) {
 		case *backend.TaskAssign:
 			out := TaskAssignMsg{JobID: m.JobID, TaskID: m.TaskID,
 				RefSeconds: m.RefSeconds, OutputSize: m.OutputSize, Payload: m.Payload}
+			if traceOK {
+				out.Trace = m.Trace
+			}
 			if bin {
 				return sendBin(FrameTaskAssignBin, func(b []byte) []byte { return AppendTaskAssign(b, &out) })
 			}
@@ -660,6 +712,7 @@ func (c *Coordinator) session(conn net.Conn) {
 				continue
 			}
 			beReq.NodeID = binReq.NodeID
+			beReq.Trace = binReq.Trace
 			if err := reply(c.be.HandleRequest(&beReq), true); err != nil {
 				return
 			}
@@ -670,6 +723,7 @@ func (c *Coordinator) session(conn net.Conn) {
 				continue
 			}
 			beReq.NodeID = req.NodeID
+			beReq.Trace = req.Trace
 			if err := reply(c.be.HandleRequest(&beReq), false); err != nil {
 				return
 			}
@@ -679,7 +733,8 @@ func (c *Coordinator) session(conn net.Conn) {
 				continue
 			}
 			c.be.HandleResult(&backend.TaskResult{
-				NodeID: binRes.NodeID, JobID: binRes.JobID, TaskID: binRes.TaskID, Payload: binRes.Payload,
+				NodeID: binRes.NodeID, JobID: binRes.JobID, TaskID: binRes.TaskID,
+				Payload: binRes.Payload, Trace: binRes.Trace,
 			})
 		case FrameTaskResult:
 			c.met.framesInTaskRes.Inc()
@@ -688,7 +743,8 @@ func (c *Coordinator) session(conn net.Conn) {
 				continue
 			}
 			c.be.HandleResult(&backend.TaskResult{
-				NodeID: res.NodeID, JobID: res.JobID, TaskID: res.TaskID, Payload: res.Payload,
+				NodeID: res.NodeID, JobID: res.JobID, TaskID: res.TaskID,
+				Payload: res.Payload, Trace: res.Trace,
 			})
 		default:
 			// Unknown frames are ignored for forward compatibility.

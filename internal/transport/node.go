@@ -16,6 +16,7 @@ import (
 	"oddci/internal/control"
 	"oddci/internal/core/instance"
 	"oddci/internal/simtime"
+	"oddci/internal/span"
 	"oddci/internal/stb"
 )
 
@@ -48,6 +49,11 @@ type NodeConfig struct {
 	// coordinator advertises the binary codec — the mixed-version
 	// interop path, also used as the bench baseline.
 	ForceJSON bool
+	// Spans, if set, records this agent's join/image-load/execute spans
+	// and advertises trace_ctx in the hello so the coordinator sends
+	// dispatch contexts back. A nil collector is the untraced-peer
+	// interop path: no contexts on the wire in either direction.
+	Spans *span.Collector
 }
 
 // NodeReport summarizes one agent run.
@@ -100,9 +106,19 @@ func RunNode(cfg NodeConfig) (report NodeReport, err error) {
 		return report, errors.New("transport: coordinator key does not match pin")
 	}
 	// Codec negotiation: binary task plane only when the coordinator
-	// advertises it (old coordinators don't), JSON otherwise.
+	// advertises it (old coordinators don't), JSON otherwise. Trace
+	// contexts flow the same way: only when both sides advertise them.
 	bin := banner.TaskBin && !cfg.ForceJSON
 	report.BinaryTaskPlane = bin
+	traceOK := banner.TraceCtx && cfg.Spans != nil
+	nodeName := fmt.Sprintf("node-%d", cfg.NodeID)
+	// The join span parents under the coordinator's wakeup broadcast
+	// (its context rides in the banner), covering control verification
+	// through image acquisition. End is idempotent, so the deferred
+	// call only stamps early exits.
+	joinSp := cfg.Spans.Start(banner.Trace, "join", nodeName)
+	joinSp.SetDetail("instance=1 bin=%t", bin)
+	defer joinSp.End()
 
 	// The heartbeat goroutine and the worker loop interleave writes on
 	// the one connection, so sends serialize on wmu; the bufio writer
@@ -135,6 +151,7 @@ func RunNode(cfg NodeConfig) (report NodeReport, err error) {
 	if err := sendJSON(FrameHello, &Hello{
 		NodeID: cfg.NodeID, Class: uint8(cfg.Profile.Class),
 		MemMB: cfg.Profile.MemMB, CPUScore: cfg.Profile.CPUScore,
+		TraceCtx: cfg.Spans != nil,
 	}); err != nil {
 		return report, err
 	}
@@ -151,6 +168,7 @@ func RunNode(cfg NodeConfig) (report NodeReport, err error) {
 		case FrameControl:
 			msgs, err := control.OpenAll(payload, key)
 			if err != nil {
+				joinSp.SetError()
 				return report, fmt.Errorf("transport: control file rejected: %w", err)
 			}
 			for _, m := range msgs {
@@ -175,16 +193,24 @@ func RunNode(cfg NodeConfig) (report NodeReport, err error) {
 			if wakeup == nil || f.Name != wakeup.ImageFile {
 				continue
 			}
+			imgSp := cfg.Spans.Start(joinSp.Context(), "image-load", nodeName)
 			verified, err := appimage.Verify(f.Data, wakeup.ImageDigest)
 			if err != nil {
+				imgSp.SetError()
+				imgSp.End()
+				joinSp.SetError()
 				return report, fmt.Errorf("transport: image rejected: %w", err)
 			}
+			imgSp.SetDetail("bytes=%d file=%s", len(f.Data), f.Name)
+			imgSp.End()
 			img = verified
 		default:
 			// Task frames cannot arrive before we ask for work.
 		}
 	}
 	report.Joined = true
+	joinCtx := joinSp.Context()
+	joinSp.End()
 
 	// Heartbeat loop (busy state). The counter is atomic because the
 	// loop runs concurrently with the worker below; the deferred wait
@@ -241,11 +267,19 @@ func RunNode(cfg NodeConfig) (report NodeReport, err error) {
 		}
 	}
 	// On the binary plane the request frame is identical every round:
-	// build it once. Result frames rebuild into a reused buffer.
+	// build it once (the join context is constant after joining, so the
+	// trace suffix keeps the frame immutable). Result frames rebuild
+	// into a reused buffer. Outbound contexts are gated on traceOK: an
+	// untraced coordinator's strict binary decoders expect base-length
+	// payloads.
+	var reqTrace span.Context
+	if traceOK {
+		reqTrace = joinCtx
+	}
 	var reqFrame, wbuf []byte
 	if bin {
 		reqFrame = BeginFrame(nil, FrameTaskRequestBin)
-		reqFrame = AppendTaskRequest(reqFrame, &TaskRequestMsg{NodeID: cfg.NodeID})
+		reqFrame = AppendTaskRequest(reqFrame, &TaskRequestMsg{NodeID: cfg.NodeID, Trace: reqTrace})
 		if reqFrame, err = EndFrame(reqFrame, 0); err != nil {
 			return report, err
 		}
@@ -256,7 +290,7 @@ func RunNode(cfg NodeConfig) (report NodeReport, err error) {
 		if bin {
 			err = sendRaw(reqFrame)
 		} else {
-			err = sendJSON(FrameTaskRequest, &TaskRequestMsg{NodeID: cfg.NodeID})
+			err = sendJSON(FrameTaskRequest, &TaskRequestMsg{NodeID: cfg.NodeID, Trace: reqTrace})
 		}
 		if err != nil {
 			return report, err
@@ -276,9 +310,27 @@ func RunNode(cfg NodeConfig) (report NodeReport, err error) {
 			if err != nil {
 				return report, err
 			}
+			// The execute span parents under the dispatch that assigned
+			// the task; an untraced coordinator sends no context, so the
+			// fallback keeps execution visible in the node's own trace.
+			exeParent := assign.Trace
+			if !exeParent.Valid() {
+				exeParent = joinCtx
+			}
+			exeSp := cfg.Spans.Start(exeParent, "execute", nodeName)
+			exeSp.SetDetail("job=%d task=%d", assign.JobID, assign.TaskID)
 			d := cfg.Perf.TaskDuration(assign.RefSeconds, cfg.Mode)
 			time.Sleep(time.Duration(float64(d) / cfg.TimeScale))
+			exeSp.End()
 			res := TaskResultMsg{NodeID: cfg.NodeID, JobID: assign.JobID, TaskID: assign.TaskID}
+			if traceOK {
+				// Results parent under the dispatch context so the
+				// backend's commit span closes the same subtree.
+				res.Trace = assign.Trace
+				if !res.Trace.Valid() {
+					res.Trace = joinCtx
+				}
+			}
 			if bin {
 				wbuf = BeginFrame(wbuf[:0], FrameTaskResultBin)
 				wbuf = AppendTaskResult(wbuf, &res)

@@ -37,6 +37,7 @@ import (
 
 	"oddci/internal/obs"
 	"oddci/internal/simtime"
+	"oddci/internal/span"
 )
 
 // FrameType tags a frame.
@@ -84,6 +85,9 @@ type Hello struct {
 	Class    uint8  `json:"class"`
 	MemMB    uint32 `json:"mem_mb"`
 	CPUScore uint32 `json:"cpu_score"`
+	// TraceCtx advertises that this node understands trace-context
+	// propagation on the task plane. Old nodes omit it.
+	TraceCtx bool `json:"trace_ctx,omitempty"`
 }
 
 // Banner introduces the coordinator.
@@ -96,6 +100,15 @@ type Banner struct {
 	// TaskBin advertises the binary task-plane codec. Old coordinators
 	// omit it, so new nodes fall back to the JSON frames against them.
 	TaskBin bool `json:"task_bin,omitempty"`
+	// TraceCtx advertises trace-context propagation, negotiated like
+	// TaskBin: both sides must advertise before either stamps contexts
+	// onto task-plane messages, so old peers never see the new bytes.
+	TraceCtx bool `json:"trace_ctx,omitempty"`
+	// Trace is the root wakeup span context of the instance this
+	// coordinator stages. A constant for the coordinator's lifetime, so
+	// the pre-encoded banner stays encode-once; old nodes parse it as
+	// an unknown string field and ignore it.
+	Trace span.Context `json:"trace,omitempty"`
 }
 
 // ImageFile is one carousel file pushed to nodes.
@@ -107,6 +120,9 @@ type ImageFile struct {
 // TaskRequestMsg asks for work.
 type TaskRequestMsg struct {
 	NodeID uint64 `json:"node_id"`
+	// Trace is the requesting worker's span context (zero when the hop
+	// is untraced). Stamped only after TraceCtx negotiation.
+	Trace span.Context `json:"trace,omitempty"`
 }
 
 // TaskAssignMsg hands a task over.
@@ -116,6 +132,8 @@ type TaskAssignMsg struct {
 	RefSeconds float64 `json:"ref_seconds"`
 	OutputSize int     `json:"output_size"`
 	Payload    []byte  `json:"payload,omitempty"`
+	// Trace is the backend dispatch span context for this assignment.
+	Trace span.Context `json:"trace,omitempty"`
 }
 
 // NoTaskMsg backs a worker off.
@@ -135,20 +153,43 @@ type TaskResultMsg struct {
 	JobID   int    `json:"job_id"`
 	TaskID  int    `json:"task_id"`
 	Payload []byte `json:"payload,omitempty"`
+	// Trace is the worker's upload span context for this result.
+	Trace span.Context `json:"trace,omitempty"`
 }
 
 // Binary task-plane codec. Deterministic big-endian layouts in the
 // style of internal/control; decoders are strict (no trailing bytes),
 // so every accepted input is the canonical encoding of its message.
+//
+// Trace-context propagation appends an optional fixed 25-byte suffix
+// (span.EncodedLen) after each message's base encoding. Strictness is
+// preserved per shape: a payload must be exactly the base length or
+// exactly base+25 — for the length-prefixed messages the embedded
+// payload-length field disambiguates, and the suffix itself rejects
+// unknown flag bits. Untraced messages encode without the suffix, so
+// negotiated-off sessions are byte-identical to the PR 5 wire format.
 
 // AppendTaskRequest appends the binary task-request payload to dst.
 func AppendTaskRequest(dst []byte, m *TaskRequestMsg) []byte {
-	return binary.BigEndian.AppendUint64(dst, m.NodeID)
+	dst = binary.BigEndian.AppendUint64(dst, m.NodeID)
+	if m.Trace.Valid() {
+		dst = m.Trace.AppendBinary(dst)
+	}
+	return dst
 }
 
 // DecodeTaskRequest reverses AppendTaskRequest into m.
 func DecodeTaskRequest(b []byte, m *TaskRequestMsg) error {
-	if len(b) != 8 {
+	m.Trace = span.Context{}
+	switch len(b) {
+	case 8:
+	case 8 + span.EncodedLen:
+		ctx, err := span.DecodeBinary(b[8:])
+		if err != nil {
+			return errors.New("transport: malformed task request trace context")
+		}
+		m.Trace = ctx
+	default:
 		return errors.New("transport: malformed task request")
 	}
 	m.NodeID = binary.BigEndian.Uint64(b)
@@ -162,7 +203,11 @@ func AppendTaskAssign(dst []byte, m *TaskAssignMsg) []byte {
 	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(m.RefSeconds))
 	dst = binary.BigEndian.AppendUint64(dst, uint64(int64(m.OutputSize)))
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Payload)))
-	return append(dst, m.Payload...)
+	dst = append(dst, m.Payload...)
+	if m.Trace.Valid() {
+		dst = m.Trace.AppendBinary(dst)
+	}
+	return dst
 }
 
 // DecodeTaskAssign reverses AppendTaskAssign into m. The payload is
@@ -172,7 +217,16 @@ func DecodeTaskAssign(b []byte, m *TaskAssignMsg) error {
 		return errors.New("transport: truncated task assign")
 	}
 	n := binary.BigEndian.Uint32(b[32:])
-	if uint64(n) != uint64(len(b)-36) {
+	m.Trace = span.Context{}
+	switch uint64(n) {
+	case uint64(len(b) - 36):
+	case uint64(len(b) - 36 - span.EncodedLen):
+		ctx, err := span.DecodeBinary(b[len(b)-span.EncodedLen:])
+		if err != nil {
+			return errors.New("transport: malformed task assign trace context")
+		}
+		m.Trace = ctx
+	default:
 		return errors.New("transport: task assign payload length mismatch")
 	}
 	m.JobID = int(int64(binary.BigEndian.Uint64(b)))
@@ -181,7 +235,7 @@ func DecodeTaskAssign(b []byte, m *TaskAssignMsg) error {
 	m.OutputSize = int(int64(binary.BigEndian.Uint64(b[24:])))
 	m.Payload = nil
 	if n > 0 {
-		m.Payload = append([]byte(nil), b[36:]...)
+		m.Payload = append([]byte(nil), b[36:36+int(n)]...)
 	}
 	return nil
 }
@@ -212,7 +266,11 @@ func AppendTaskResult(dst []byte, m *TaskResultMsg) []byte {
 	dst = binary.BigEndian.AppendUint64(dst, uint64(int64(m.JobID)))
 	dst = binary.BigEndian.AppendUint64(dst, uint64(int64(m.TaskID)))
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Payload)))
-	return append(dst, m.Payload...)
+	dst = append(dst, m.Payload...)
+	if m.Trace.Valid() {
+		dst = m.Trace.AppendBinary(dst)
+	}
+	return dst
 }
 
 // DecodeTaskResult reverses AppendTaskResult into m. The payload is
@@ -222,7 +280,16 @@ func DecodeTaskResult(b []byte, m *TaskResultMsg) error {
 		return errors.New("transport: truncated task result")
 	}
 	n := binary.BigEndian.Uint32(b[24:])
-	if uint64(n) != uint64(len(b)-28) {
+	m.Trace = span.Context{}
+	switch uint64(n) {
+	case uint64(len(b) - 28):
+	case uint64(len(b) - 28 - span.EncodedLen):
+		ctx, err := span.DecodeBinary(b[len(b)-span.EncodedLen:])
+		if err != nil {
+			return errors.New("transport: malformed task result trace context")
+		}
+		m.Trace = ctx
+	default:
 		return errors.New("transport: task result payload length mismatch")
 	}
 	m.NodeID = binary.BigEndian.Uint64(b)
@@ -230,7 +297,7 @@ func DecodeTaskResult(b []byte, m *TaskResultMsg) error {
 	m.TaskID = int(int64(binary.BigEndian.Uint64(b[16:])))
 	m.Payload = nil
 	if n > 0 {
-		m.Payload = append([]byte(nil), b[28:]...)
+		m.Payload = append([]byte(nil), b[28:28+int(n)]...)
 	}
 	return nil
 }

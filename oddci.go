@@ -38,6 +38,7 @@ import (
 	"oddci/internal/dsmcc"
 	"oddci/internal/obs"
 	"oddci/internal/simtime"
+	"oddci/internal/span"
 	"oddci/internal/stb"
 	"oddci/internal/system"
 	"oddci/internal/trace"
@@ -182,6 +183,18 @@ type Options struct {
 	// (wakeups, joins, resets, power transitions) into a ring of this
 	// many events, readable via Timeline and TraceEvents.
 	TraceCapacity int
+	// SpanCapacity, if positive, enables end-to-end causal tracing:
+	// every sampled wakeup broadcast starts a distributed trace whose
+	// spans (join, image-load, dve-start, dispatch, lease-expiry,
+	// commit) land in a ring of this many entries, readable via
+	// RenderTraces / RenderTrace / WriteSpansJSONL and served on
+	// /trace by MetricsHandler.
+	SpanCapacity int
+	// SpanSampleRate is the head-based sampling rate in [0,1]; 0 means
+	// sample every trace, negative disables sampling entirely (error
+	// and retry paths still leave span evidence). Requires
+	// SpanCapacity.
+	SpanSampleRate float64
 	// Metrics enables the telemetry registry: every component reports
 	// counters, gauges and latency histograms, readable via Metric,
 	// MetricsJSON, MetricsText, and servable over HTTP with
@@ -201,6 +214,7 @@ type System struct {
 	sim    *simtime.Sim // nil in real-time mode
 	tracer *trace.Recorder
 	obs    *obs.Registry
+	spans  *span.Collector
 }
 
 // New assembles and starts a deployment.
@@ -223,11 +237,20 @@ func New(opts Options) (*System, error) {
 	}
 	var tracer *trace.Recorder
 	if opts.TraceCapacity > 0 {
-		tracer = trace.NewRecorder(opts.TraceCapacity)
+		tracer = trace.NewRecorder(opts.TraceCapacity).WithClock(clk)
 	}
 	var reg *obs.Registry
 	if opts.Metrics {
 		reg = obs.NewRegistry()
+	}
+	var spans *span.Collector
+	if opts.SpanCapacity > 0 {
+		spans = span.NewCollector(span.Config{
+			Clock:      clk,
+			Capacity:   opts.SpanCapacity,
+			SampleRate: opts.SpanSampleRate,
+			Seed:       opts.Seed + 1,
+		})
 	}
 	sys, err := system.New(system.Config{
 		Clock:             clk,
@@ -243,6 +266,7 @@ func New(opts Options) (*System, error) {
 		Transport:         transport,
 		Trace:             tracer,
 		Obs:               reg,
+		Spans:             spans,
 		StateDir:          opts.StateDir,
 	})
 	if err != nil {
@@ -251,7 +275,7 @@ func New(opts Options) (*System, error) {
 	if err := sys.Start(); err != nil {
 		return nil, err
 	}
-	return &System{sys: sys, clk: clk, sim: sim, tracer: tracer, obs: reg}, nil
+	return &System{sys: sys, clk: clk, sim: sim, tracer: tracer, obs: reg, spans: spans}, nil
 }
 
 // Timeline renders the recorded control-plane events (the last limit
@@ -307,8 +331,39 @@ func (s *System) MetricsText() string {
 	return s.obs.RenderPrometheus()
 }
 
-// MetricsHandler serves /metrics, /varz, /healthz and /timeline for
-// this deployment, or nil when Options.Metrics is unset.
+// RenderTraces renders an index of the most recent limit distributed
+// traces (0 = all retained). Requires Options.SpanCapacity.
+func (s *System) RenderTraces(limit int) string {
+	if s.spans == nil {
+		return "(span tracing disabled; set Options.SpanCapacity)\n"
+	}
+	return s.spans.RenderTraces(limit)
+}
+
+// RenderTrace renders one trace's span waterfall by full 32-hex trace
+// ID or a unique ≥8-hex prefix. Requires Options.SpanCapacity.
+func (s *System) RenderTrace(id string) (string, bool) {
+	if s.spans == nil {
+		return "", false
+	}
+	return s.spans.RenderTrace(id)
+}
+
+// WriteSpansJSONL streams every retained span as one JSON object per
+// line. Requires Options.SpanCapacity.
+func (s *System) WriteSpansJSONL(w io.Writer) error {
+	if s.spans == nil {
+		return errors.New("oddci: span tracing disabled; set Options.SpanCapacity")
+	}
+	return s.spans.WriteJSONL(w)
+}
+
+// Spans exposes the deployment's span collector (nil when
+// Options.SpanCapacity is unset) for tests and custom exposition.
+func (s *System) Spans() *span.Collector { return s.spans }
+
+// MetricsHandler serves /metrics, /varz, /healthz, /timeline and
+// /trace for this deployment, or nil when Options.Metrics is unset.
 func (s *System) MetricsHandler() http.Handler {
 	if s.obs == nil {
 		return nil
@@ -317,7 +372,11 @@ func (s *System) MetricsHandler() http.Handler {
 	if s.tracer != nil {
 		timeline = s.tracer
 	}
-	return obs.NewHandler(s.obs, timeline)
+	var traces obs.TraceSource
+	if s.spans != nil {
+		traces = s.spans
+	}
+	return obs.NewHandler(s.obs, timeline, traces)
 }
 
 // Now returns the deployment's current (virtual or wall) time.

@@ -2,6 +2,7 @@ package oddci
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"time"
 )
@@ -293,4 +294,99 @@ func TestFacadeCrashRestart(t *testing.T) {
 	if recoveredMetric != 1 {
 		t.Fatalf("recovered-instances metric = %v, want 1", recoveredMetric)
 	}
+}
+
+// TestFacadeCausalTrace drives a simulated deployment with span
+// collection on and asserts the whole wakeup → join → image-load →
+// dve-start → dispatch → commit causal chain lands in one connected
+// tree, reachable through the facade accessors that /trace serves.
+func TestFacadeCausalTrace(t *testing.T) {
+	sys, err := New(Options{Nodes: 4, Seed: 7, SpanCapacity: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := (&Generator{Name: "traced", Tasks: 16, MeanSeconds: 2,
+		InputBytes: 128, OutputBytes: 128, ImageBytes: 10000}).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.SubmitJob(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.CreateInstance(InstanceSpec{
+		Image: WorkerImage(10000), Target: 4, InitialProbability: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RunJob(h); err != nil {
+		t.Fatal(err)
+	}
+
+	traces := sys.Spans().Traces()
+	if len(traces) == 0 {
+		t.Fatal("no traces retained")
+	}
+	// The wakeup trace is the one rooted at the controller broadcast;
+	// it must be a single connected tree covering all five layers.
+	var names map[string]int
+	for _, tr := range traces {
+		if len(tr.Spans) == 0 || tr.Spans[0].Name != "wakeup" {
+			continue
+		}
+		if !tr.Connected() {
+			t.Fatalf("wakeup trace disconnected:\n%s", tr.RenderWaterfall())
+		}
+		names = map[string]int{}
+		for _, d := range tr.Spans {
+			names[d.Name]++
+		}
+		break
+	}
+	if names == nil {
+		t.Fatal("no wakeup-rooted trace retained")
+	}
+	for _, layer := range []string{"join", "image-load", "dve-start", "dispatch", "commit"} {
+		if names[layer] == 0 {
+			t.Fatalf("wakeup trace has no %q span (got %v)", layer, names)
+		}
+	}
+	if names["commit"] != 16 {
+		t.Fatalf("commit spans = %d, want 16", names["commit"])
+	}
+
+	// The facade accessors feed /trace and /trace/{id}.
+	idx := sys.RenderTraces(0)
+	if !strings.Contains(idx, "wakeup") {
+		t.Fatalf("RenderTraces index missing the wakeup root:\n%s", idx)
+	}
+	id := traces[len(traces)-1].ID.String()
+	for _, tr := range traces {
+		if tr.Spans[0].Name == "wakeup" {
+			id = tr.ID.String()
+			break
+		}
+	}
+	wf, ok := sys.RenderTrace(id)
+	if !ok || !strings.Contains(wf, "dve-start") {
+		t.Fatalf("RenderTrace(%s): ok=%v\n%s", id, ok, wf)
+	}
+	var jsonl strings.Builder
+	if err := sys.WriteSpansJSONL(&jsonl); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(jsonl.String(), `"name":"dispatch"`) {
+		t.Fatal("WriteSpansJSONL missing dispatch spans")
+	}
+
+	// Spans stay off (and free) unless asked for.
+	off, err := New(Options{Nodes: 1, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Spans() != nil || !strings.Contains(off.RenderTraces(0), "disabled") {
+		t.Fatal("span collection should be off by default")
+	}
+	off.Shutdown()
+	off.Wait()
 }
