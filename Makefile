@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet test race build cover bench-transport bench-fleet bench-obs
+.PHONY: check fmt vet test race build cover bench-transport bench-fleet bench-obs bench-adversary
 
 ## check: the full tier-1 gate — formatting, vet, build, tests with the
 ## race detector (the lifecycle churn stress must pass under -race),
@@ -31,8 +31,9 @@ race:
 ## scheduler (dispatch, lease reclaim, draining), the transport fast
 ## path (framing, binary codec, coordinator/node loops), and the fleet
 ## simulation harness (SoA engine, timing wheel integration, analytic
-## cross-validation).
-COVER_PKGS ?= ./internal/obs:85 ./internal/trace:85 ./internal/span:80 ./internal/core/controller:85 ./internal/journal:78 ./internal/core/backend:80 ./internal/transport:75 ./internal/fleet:75
+## cross-validation), and the netsim layer (links, faults, and the
+## byzantine adversary plan).
+COVER_PKGS ?= ./internal/obs:85 ./internal/trace:85 ./internal/span:80 ./internal/core/controller:85 ./internal/journal:78 ./internal/core/backend:82 ./internal/transport:75 ./internal/fleet:75 ./internal/netsim:85
 cover:
 	@for entry in $(COVER_PKGS); do \
 		pkg="$${entry%%:*}"; floor="$${entry##*:}"; \
@@ -63,3 +64,12 @@ bench-fleet:
 ## hand-off more than 2% versus the untraced baseline, or allocates.
 bench-obs:
 	$(GO) run ./cmd/oddci-bench -sweep obs -out BENCH_obs.json
+
+## bench-adversary: regenerate the byzantine hardening gate
+## (BENCH_adversary.json) — full adversarial deployments over fraction ×
+## replication × seed, failing on any wrong commit at Replication 5, on
+## quarantine coverage below 95% of the byzantine population, or if
+## arming credibility tracking costs the honest dispatch path more
+## than 3%.
+bench-adversary:
+	$(GO) run ./cmd/oddci-bench -sweep adversary -out BENCH_adversary.json

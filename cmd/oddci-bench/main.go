@@ -35,6 +35,13 @@
 // hot path regresses more than 2% or allocates:
 //
 //	oddci-bench -sweep obs -out BENCH_obs.json
+//
+// The adversary sweep runs full byzantine deployments (fraction ×
+// replication × seed) against the credibility-weighted quorum and gates
+// on zero wrong commits at Replication 5, ≥95% byzantine quarantine,
+// and armed dispatch throughput within 3% of baseline:
+//
+//	oddci-bench -sweep adversary -out BENCH_adversary.json
 package main
 
 import (
@@ -54,7 +61,7 @@ import (
 
 func main() {
 	var (
-		sweep = flag.String("sweep", "fig6", "one of fig6, fig7, table1, churn, backend, transport, fleet, obs")
+		sweep = flag.String("sweep", "fig6", "one of fig6, fig7, table1, churn, backend, transport, fleet, obs, adversary")
 		seed  = flag.Int64("seed", 2009, "random seed")
 		nodes = flag.Int("nodes", 200, "DES population for validated sweeps")
 		out   = flag.String("out", "", "output file for the backend/transport sweeps' JSON gate (default BENCH_<sweep>.json)")
@@ -91,6 +98,11 @@ func main() {
 			*out = "BENCH_obs.json"
 		}
 		err = sweepObs(w, *out)
+	case "adversary":
+		if *out == "" {
+			*out = "BENCH_adversary.json"
+		}
+		err = sweepAdversary(w, *seed, *out)
 	default:
 		err = fmt.Errorf("unknown sweep %q", *sweep)
 	}

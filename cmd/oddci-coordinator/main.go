@@ -80,8 +80,21 @@ func main() {
 		spanCap     = flag.Int("trace-spans", 4096, "span ring capacity for end-to-end causal tracing (0 disables tracing)")
 		spanRate    = flag.Float64("trace-sample", 1, "head-based trace sampling rate in (0,1]; negative disables sampling (retry/error evidence still recorded)")
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof and runtime goroutine/heap gauges on the -metrics mux")
+		credMode    = flag.String("cred", "off", "result-credential policy: off (legacy wire), warn (verify and count, accept), enforce (reject bad echoes and penalize credibility)")
 	)
 	flag.Parse()
+
+	var cred backend.CredentialMode
+	switch *credMode {
+	case "off":
+		cred = backend.CredOff
+	case "warn":
+		cred = backend.CredWarn
+	case "enforce":
+		cred = backend.CredEnforce
+	default:
+		log.Fatalf("-cred %q: want off, warn, or enforce", *credMode)
+	}
 
 	var reg *obs.Registry
 	if *metricsAddr != "" {
@@ -111,6 +124,7 @@ func main() {
 		Obs:             reg,
 		Spans:           spans,
 		StateDir:        *stateDir,
+		CredentialMode:  cred,
 	})
 	if err != nil {
 		log.Fatal(err)

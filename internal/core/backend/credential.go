@@ -1,0 +1,118 @@
+package backend
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+)
+
+// Result credentials. Every dispatch in a credentialed deployment hands
+// the worker an opaque token bound to (seq, node, job, task); the worker
+// echoes it with its result, and the Backend — the only holder of the
+// MAC secret — verifies the echo before counting the vote. A forged
+// token fails the MAC; a genuine token presented for the wrong slot
+// (another node's lease, another task, or a lease that was re-granted
+// since) is a replay. Nodes never verify credentials, so no key is
+// distributed: the token round-trips as opaque bytes.
+//
+// The MAC is HMAC-SHA256 over the 32-byte binding prefix, not an
+// ed25519 signature: credentials are issued and verified by the same
+// party on the dispatch hot path, so a keyed hash gives the same
+// unforgeability against nodes at a fraction of the signing cost.
+
+// CredentialMode selects how the Backend treats result credentials.
+type CredentialMode int
+
+// Credential modes. CredOff is the pre-credential wire (nothing issued
+// or checked). CredWarn issues and verifies but still accepts bad or
+// missing echoes — the mixed-fleet migration mode. CredEnforce rejects
+// them and penalizes the sender's credibility.
+const (
+	CredOff CredentialMode = iota
+	CredWarn
+	CredEnforce
+)
+
+// CredentialLen is the wire size of a credential:
+// seq(8) | node(8) | job(8) | task(8) | mac(32).
+const CredentialLen = 64
+
+// credentialSecretLen is the generated MAC secret size.
+const credentialSecretLen = 32
+
+// Credential decode/verify errors.
+var (
+	ErrCredentialMalformed = errors.New("backend: malformed credential")
+	ErrCredentialForged    = errors.New("backend: forged credential")
+	ErrCredentialReplayed  = errors.New("backend: replayed credential")
+)
+
+// AppendCredential appends the credential binding (seq, node, job, task)
+// under secret to dst.
+func AppendCredential(dst []byte, secret []byte, seq, node uint64, job, task int) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, seq)
+	dst = binary.BigEndian.AppendUint64(dst, node)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(int64(job)))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(int64(task)))
+	mac := hmac.New(sha256.New, secret)
+	mac.Write(dst[len(dst)-32:])
+	return mac.Sum(dst)
+}
+
+// DecodeCredential checks cred's shape and MAC under secret and returns
+// its bound fields. It does not know which slot the credential was
+// issued for — callers compare the fields against the submitting slot to
+// tell a replay from a genuine echo.
+func DecodeCredential(secret, cred []byte) (seq, node uint64, job, task int, err error) {
+	if len(cred) != CredentialLen {
+		return 0, 0, 0, 0, ErrCredentialMalformed
+	}
+	mac := hmac.New(sha256.New, secret)
+	mac.Write(cred[:32])
+	if !hmac.Equal(mac.Sum(nil), cred[32:]) {
+		return 0, 0, 0, 0, ErrCredentialForged
+	}
+	seq = binary.BigEndian.Uint64(cred)
+	node = binary.BigEndian.Uint64(cred[8:])
+	job = int(int64(binary.BigEndian.Uint64(cred[16:])))
+	task = int(int64(binary.BigEndian.Uint64(cred[24:])))
+	return seq, node, job, task, nil
+}
+
+// credVerdict classifies one result's credential.
+type credVerdict int
+
+const (
+	credOK credVerdict = iota
+	credMissing
+	credForged   // malformed or failing the MAC: cryptographic proof of tampering
+	credReplayed // genuine token, wrong slot: stale seq or another lease's binding
+)
+
+// verifyCredentialLocked classifies res's credential against the seq the
+// task last issued to that node. Called with ts's shard lock held.
+func (b *Backend) verifyCredentialLocked(ts *taskState, res *TaskResult) credVerdict {
+	if len(res.Credential) == 0 {
+		return credMissing
+	}
+	seq, node, job, task, err := DecodeCredential(b.trust.secret, res.Credential)
+	if err != nil {
+		return credForged
+	}
+	issued, ok := ts.credSeqs[res.NodeID]
+	if !ok || seq != issued || node != res.NodeID || job != res.JobID || task != res.TaskID {
+		return credReplayed
+	}
+	return credOK
+}
+
+// generateCredentialSecret draws a fresh MAC secret.
+func generateCredentialSecret() ([]byte, error) {
+	secret := make([]byte, credentialSecretLen)
+	if _, err := rand.Read(secret); err != nil {
+		return nil, err
+	}
+	return secret, nil
+}

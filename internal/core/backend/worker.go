@@ -37,11 +37,12 @@ func Worker(env *dve.Env) error {
 				resTrace = env.Trace
 			}
 			result := &TaskResult{
-				NodeID:  env.NodeID,
-				JobID:   m.JobID,
-				TaskID:  m.TaskID,
-				Payload: runPayload(env, m),
-				Trace:   resTrace,
+				NodeID:     env.NodeID,
+				JobID:      m.JobID,
+				TaskID:     m.TaskID,
+				Payload:    runPayload(env, m),
+				Trace:      resTrace,
+				Credential: m.Credential, // opaque echo; the Backend verifies
 			}
 			env.Backend.Send("backend", result, resultOverhead+m.OutputSize)
 			env.NoteTaskDone()

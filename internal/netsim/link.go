@@ -108,10 +108,23 @@ type Endpoint struct {
 	Name string
 	out  *Link
 	In   *Mailbox[Packet]
+
+	// SendHook, when set, may rewrite (or suppress, by returning false)
+	// every outgoing payload before it hits the link. It is the seam the
+	// adversary layer uses to make a node lie on the wire without the
+	// node's own code knowing.
+	SendHook func(to string, payload any) (any, bool)
 }
 
 // Send transmits payload of the given wire size to the peer endpoint.
 func (e *Endpoint) Send(to string, payload any, size int) {
+	if e.SendHook != nil {
+		mutated, ok := e.SendHook(to, payload)
+		if !ok {
+			return
+		}
+		payload = mutated
+	}
 	e.out.Send(Packet{From: e.Name, To: to, Payload: payload, Size: size})
 }
 

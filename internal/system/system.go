@@ -88,6 +88,15 @@ type Config struct {
 	// carousel updates (not into the receivers), exercising the
 	// refresh-retry path. Start is never injected.
 	HeadEndFaults *netsim.FaultPlan
+	// Adversary, if set, turns the assigned fraction of nodes byzantine:
+	// their result submissions are rewritten on the wire (wrong payloads,
+	// forged or replayed credentials) per the plan's deterministic
+	// per-node streams. The nodes run the stock worker; only their
+	// uplinks lie.
+	Adversary *netsim.AdversaryPlan
+	// CredentialMode selects the Backend's result-credential policy
+	// (default CredOff: the pre-credential wire).
+	CredentialMode backend.CredentialMode
 	// ResetRetransmitTicks is how many maintenance passes a destroyed
 	// instance's reset stays on air before GC (default 3).
 	ResetRetransmitTicks int
@@ -303,7 +312,21 @@ func New(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	be, err := backend.New(backend.Config{Clock: clk, Replication: cfg.Replication, Obs: cfg.Obs, Spans: cfg.Spans})
+	beCfg := backend.Config{Clock: clk, Replication: cfg.Replication, Obs: cfg.Obs, Spans: cfg.Spans, CredentialMode: cfg.CredentialMode}
+	if cfg.CredentialMode != backend.CredOff {
+		// Deterministic MAC secret: derived from the deployment seed so
+		// credentialed runs replay bit-identically.
+		secret := make([]byte, 32)
+		rng.Read(secret)
+		beCfg.CredentialSecret = secret
+	}
+	if cfg.Adversary != nil {
+		// Facing an adversary, track credibility even at Replication 1 so
+		// credential rejections still quarantine.
+		beCfg.TrackCredibility = true
+		cfg.Adversary.Instrument(cfg.Obs, "adversary")
+	}
+	be, err := backend.New(beCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -375,7 +398,7 @@ func New(cfg Config) (*System, error) {
 			Profile:          box.Profile(),
 			ControllerKey:    pub,
 			DialController:   s.dialer(linkCfg, "controller", s.serveController),
-			DialBackend:      s.dialer(linkCfg, "backend", be.Serve),
+			DialBackend:      s.backendDialer(linkCfg, be.Serve, nodeID),
 			Registry:         reg,
 			TaskDuration:     box.TaskDuration,
 			Rng:              rand.New(rand.NewSource(nodeRng.Int63())),
@@ -555,6 +578,51 @@ func (s *System) dialer(cfg netsim.LinkConfig, server string, serve func(*netsim
 			srv.Close()
 		}
 		return client, hangup
+	}
+}
+
+// backendDialer is the node-side backend dialer; when nodeID is assigned
+// a byzantine behavior, the client endpoint's SendHook rewrites result
+// submissions on the wire per the plan.
+func (s *System) backendDialer(cfg netsim.LinkConfig, serve func(*netsim.Endpoint), nodeID uint64) pna.Dialer {
+	inner := s.dialer(cfg, "backend", serve)
+	plan := s.cfg.Adversary
+	if plan == nil || !plan.IsByzantine(nodeID) {
+		return inner
+	}
+	hook := adversaryHook(plan, nodeID)
+	return func() (*netsim.Endpoint, func()) {
+		client, hangup := inner()
+		client.SendHook = hook
+		return client, hangup
+	}
+}
+
+// adversaryHook applies nodeID's assigned misbehavior to outgoing task
+// results. Netsim stays payload-agnostic; this is where the plan's
+// decisions meet the task-plane message types.
+func adversaryHook(plan *netsim.AdversaryPlan, nodeID uint64) func(to string, payload any) (any, bool) {
+	behavior := plan.Behavior(nodeID)
+	return func(to string, payload any) (any, bool) {
+		res, ok := payload.(*backend.TaskResult)
+		if !ok {
+			return payload, true
+		}
+		mut := *res
+		switch behavior {
+		case netsim.WrongResult, netsim.FlipFlop, netsim.Collude:
+			if !plan.ShouldLie(nodeID) {
+				return payload, true
+			}
+			mut.Payload = plan.WrongPayload(nodeID, res.JobID, res.TaskID)
+		case netsim.ForgeCred:
+			mut.Credential = plan.ForgeCredential(nodeID, res.Credential)
+		case netsim.ReplayCred:
+			mut.Credential = plan.ReplayCredential(nodeID, res.Credential)
+		default:
+			return payload, true
+		}
+		return &mut, true
 	}
 }
 

@@ -61,6 +61,12 @@ type CoordinatorConfig struct {
 	// LeaseBase is the backend's minimum task lease (default 30 s);
 	// fault-injection tests shorten it to force lease-expiry retries.
 	LeaseBase time.Duration
+	// CredentialMode selects the backend's result-credential policy.
+	// Credentials are issued only to sessions whose hello advertised
+	// them, so pre-credential nodes keep their exact wire format; what
+	// happens to their credential-less results is this policy's call
+	// (CredWarn tolerates, CredEnforce rejects).
+	CredentialMode backend.CredentialMode
 	// HeartbeatSilence is how long the coordinator tolerates hearing no
 	// heartbeat (while nodes are connected) before the heartbeat-silence
 	// health check fails (default 3× HeartbeatPeriod).
@@ -313,11 +319,12 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		cfg.LeaseBase = 30 * time.Second
 	}
 	be, err := backend.New(backend.Config{
-		Clock:      cfg.Clock,
-		RetryAfter: cfg.RetryAfter,
-		LeaseBase:  cfg.LeaseBase,
-		Obs:        cfg.Obs,
-		Spans:      cfg.Spans,
+		Clock:          cfg.Clock,
+		RetryAfter:     cfg.RetryAfter,
+		LeaseBase:      cfg.LeaseBase,
+		Obs:            cfg.Obs,
+		Spans:          cfg.Spans,
+		CredentialMode: cfg.CredentialMode,
 	})
 	if err != nil {
 		return nil, err
@@ -608,6 +615,9 @@ func (c *Coordinator) session(conn net.Conn) {
 	// task plane: an untraced node's strict decoders expect base-length
 	// frames, so suffixes only flow when its hello advertised trace_ctx.
 	traceOK := hello.TraceCtx && c.cfg.Spans != nil
+	// Credentials flow only when both sides opted in: the node's hello
+	// advertised the echo and the coordinator runs a credentialed mode.
+	credOK := hello.Cred && c.cfg.CredentialMode != backend.CredOff
 	sessSp := c.cfg.Spans.Start(c.wakeupCtx, "session", "coordinator")
 	sessSp.SetDetail("node=%d trace_ctx=%t", hello.NodeID, hello.TraceCtx)
 	defer sessSp.End()
@@ -659,6 +669,9 @@ func (c *Coordinator) session(conn net.Conn) {
 				RefSeconds: m.RefSeconds, OutputSize: m.OutputSize, Payload: m.Payload}
 			if traceOK {
 				out.Trace = m.Trace
+			}
+			if credOK {
+				out.Cred = m.Credential
 			}
 			if bin {
 				return sendBin(FrameTaskAssignBin, func(b []byte) []byte { return AppendTaskAssign(b, &out) })
@@ -734,7 +747,7 @@ func (c *Coordinator) session(conn net.Conn) {
 			}
 			c.be.HandleResult(&backend.TaskResult{
 				NodeID: binRes.NodeID, JobID: binRes.JobID, TaskID: binRes.TaskID,
-				Payload: binRes.Payload, Trace: binRes.Trace,
+				Payload: binRes.Payload, Credential: binRes.Cred, Trace: binRes.Trace,
 			})
 		case FrameTaskResult:
 			c.met.framesInTaskRes.Inc()
@@ -744,7 +757,7 @@ func (c *Coordinator) session(conn net.Conn) {
 			}
 			c.be.HandleResult(&backend.TaskResult{
 				NodeID: res.NodeID, JobID: res.JobID, TaskID: res.TaskID,
-				Payload: res.Payload, Trace: res.Trace,
+				Payload: res.Payload, Credential: res.Cred, Trace: res.Trace,
 			})
 		default:
 			// Unknown frames are ignored for forward compatibility.

@@ -1,0 +1,154 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"oddci/internal/core/backend"
+	"oddci/internal/obs"
+)
+
+// runMixedFleet drives one pre-credential node (no cred advertisement,
+// no echoes) and one credentialed node against a coordinator in the
+// given mode, and returns the obs registry for counter assertions.
+func runMixedFleet(t *testing.T, mode backend.CredentialMode, tasks int) *obs.Registry {
+	t.Helper()
+	reg := obs.NewRegistry()
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Listen:          "127.0.0.1:0",
+		Name:            "cred-interop",
+		Image:           testImage(),
+		HeartbeatPeriod: 5 * time.Second,
+		CredentialMode:  mode,
+		Obs:             reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	go coord.Serve()
+
+	h, err := coord.Submit(testJob(t, tasks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	reports := make([]NodeReport, 2)
+	errs := make([]error, 2)
+	for i, omit := range []bool{true, false} {
+		i, omit := i, omit
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			reports[i], errs[i] = RunNode(NodeConfig{
+				Addr:           coord.Addr(),
+				NodeID:         uint64(i + 1),
+				TimeScale:      200,
+				Seed:           5,
+				PinnedKey:      coord.PublicKey(),
+				OmitCredential: omit,
+			})
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v", i+1, err)
+		}
+	}
+	if _, done := h.Done(); !done {
+		t.Fatalf("job incomplete in mode %d", mode)
+	}
+	if got := reports[0].TasksDone + reports[1].TasksDone; got != tasks {
+		t.Fatalf("nodes report %d tasks, want %d", got, tasks)
+	}
+	return reg
+}
+
+// TestCredentialWarnModeMixedFleet is the migration direction: a
+// pre-credential node against a credential-verifying coordinator. In
+// warn mode its unsigned results must still be counted — the job
+// completes with both nodes contributing — while the missing-credential
+// counter records every one of them.
+func TestCredentialWarnModeMixedFleet(t *testing.T) {
+	reg := runMixedFleet(t, backend.CredWarn, 16)
+	if v, ok := reg.Value("oddci_backend_byzantine_cred_missing_total"); !ok || v == 0 {
+		t.Fatalf("cred missing counter = %v ok=%v; pre-credential results went unnoticed", v, ok)
+	}
+	if v, _ := reg.Value("oddci_backend_byzantine_cred_rejected_total"); v != 0 {
+		t.Fatalf("warn mode rejected %v votes", v)
+	}
+	if v, _ := reg.Value("oddci_backend_quarantined_nodes"); v != 0 {
+		t.Fatalf("warn mode quarantined %v nodes", v)
+	}
+}
+
+// TestCredentialNewNodeOldCoordinator is the reverse direction: a
+// credential-capable node advertising support to a CredOff coordinator.
+// Nothing is issued, nothing is verified, and the wire stays on the
+// pre-credential fast path — the job must complete exactly as before.
+func TestCredentialNewNodeOldCoordinator(t *testing.T) {
+	reg := runMixedFleet(t, backend.CredOff, 16)
+	for _, name := range []string{
+		"oddci_backend_byzantine_cred_missing_total",
+		"oddci_backend_byzantine_cred_forged_total",
+		"oddci_backend_byzantine_cred_replayed_total",
+		"oddci_backend_byzantine_cred_rejected_total",
+	} {
+		if v, _ := reg.Value(name); v != 0 {
+			t.Fatalf("%s = %v on a CredOff coordinator", name, v)
+		}
+	}
+}
+
+// TestCredentialEnforceHonestFleet: in enforce mode an honest
+// credentialed fleet completes a job with zero credential verdicts —
+// the enforcement machinery must be invisible to well-behaved nodes.
+func TestCredentialEnforceHonestFleet(t *testing.T) {
+	reg := obs.NewRegistry()
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Listen:          "127.0.0.1:0",
+		Name:            "cred-enforce",
+		Image:           testImage(),
+		HeartbeatPeriod: 5 * time.Second,
+		CredentialMode:  backend.CredEnforce,
+		Obs:             reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	go coord.Serve()
+
+	h, err := coord.Submit(testJob(t, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := RunNode(NodeConfig{
+		Addr:      coord.Addr(),
+		NodeID:    1,
+		TimeScale: 200,
+		Seed:      9,
+		PinnedKey: coord.PublicKey(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, done := h.Done(); !done {
+		t.Fatal("job incomplete under enforce mode")
+	}
+	if report.TasksDone != 12 {
+		t.Fatalf("node reports %d tasks, want 12", report.TasksDone)
+	}
+	for _, name := range []string{
+		"oddci_backend_byzantine_cred_missing_total",
+		"oddci_backend_byzantine_cred_forged_total",
+		"oddci_backend_byzantine_cred_replayed_total",
+		"oddci_backend_byzantine_cred_rejected_total",
+	} {
+		if v, _ := reg.Value(name); v != 0 {
+			t.Fatalf("%s = %v for an honest credentialed fleet", name, v)
+		}
+	}
+}

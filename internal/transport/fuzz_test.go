@@ -3,6 +3,8 @@ package transport
 import (
 	"bytes"
 	"testing"
+
+	"oddci/internal/span"
 )
 
 // FuzzReadFrame hammers the frame parsers with arbitrary bytes:
@@ -58,6 +60,18 @@ func FuzzTaskPlaneCodec(f *testing.F) {
 	f.Add(append([]byte{2}, AppendNoTask(nil, &NoTaskMsg{Done: true})...))
 	f.Add(append([]byte{3}, AppendTaskResult(nil, &TaskResultMsg{
 		NodeID: 9, JobID: 1, TaskID: 2, Payload: []byte("out")})...))
+	// Credentialed variants: each suffix class the decoders must
+	// disambiguate (bare, trace-only above, cred-only, cred+trace).
+	cred := bytes.Repeat([]byte{0xAB}, 64)
+	ctx := span.Context{Trace: span.TraceID{0xDEAD, 0xBEEF}, Span: 0x77, Sampled: true}
+	f.Add(append([]byte{1}, AppendTaskAssign(nil, &TaskAssignMsg{
+		JobID: 1, TaskID: 2, Payload: []byte("in"), Cred: cred})...))
+	f.Add(append([]byte{1}, AppendTaskAssign(nil, &TaskAssignMsg{
+		JobID: 1, TaskID: 2, Payload: []byte("in"), Cred: cred, Trace: ctx})...))
+	f.Add(append([]byte{3}, AppendTaskResult(nil, &TaskResultMsg{
+		NodeID: 9, JobID: 1, TaskID: 2, Payload: []byte("out"), Cred: cred})...))
+	f.Add(append([]byte{3}, AppendTaskResult(nil, &TaskResultMsg{
+		NodeID: 9, JobID: 1, TaskID: 2, Payload: []byte("out"), Cred: cred, Trace: ctx})...))
 	f.Add([]byte{1, 0, 0, 0})
 
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -49,6 +49,10 @@ type NodeConfig struct {
 	// coordinator advertises the binary codec — the mixed-version
 	// interop path, also used as the bench baseline.
 	ForceJSON bool
+	// OmitCredential suppresses the hello's cred advertisement and any
+	// credential echo — the pre-credential node's exact wire behavior,
+	// used by the mixed-version interop tests.
+	OmitCredential bool
 	// Spans, if set, records this agent's join/image-load/execute spans
 	// and advertises trace_ctx in the hello so the coordinator sends
 	// dispatch contexts back. A nil collector is the untraced-peer
@@ -151,7 +155,7 @@ func RunNode(cfg NodeConfig) (report NodeReport, err error) {
 	if err := sendJSON(FrameHello, &Hello{
 		NodeID: cfg.NodeID, Class: uint8(cfg.Profile.Class),
 		MemMB: cfg.Profile.MemMB, CPUScore: cfg.Profile.CPUScore,
-		TraceCtx: cfg.Spans != nil,
+		TraceCtx: cfg.Spans != nil, Cred: !cfg.OmitCredential,
 	}); err != nil {
 		return report, err
 	}
@@ -323,6 +327,11 @@ func RunNode(cfg NodeConfig) (report NodeReport, err error) {
 			time.Sleep(time.Duration(float64(d) / cfg.TimeScale))
 			exeSp.End()
 			res := TaskResultMsg{NodeID: cfg.NodeID, JobID: assign.JobID, TaskID: assign.TaskID}
+			if !cfg.OmitCredential {
+				// Opaque echo; the backend verifies. An uncredentialed
+				// coordinator sent none, so this stays empty against it.
+				res.Cred = assign.Cred
+			}
 			if traceOK {
 				// Results parent under the dispatch context so the
 				// backend's commit span closes the same subtree.

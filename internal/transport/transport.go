@@ -88,6 +88,11 @@ type Hello struct {
 	// TraceCtx advertises that this node understands trace-context
 	// propagation on the task plane. Old nodes omit it.
 	TraceCtx bool `json:"trace_ctx,omitempty"`
+	// Cred advertises that this node echoes result credentials. The
+	// coordinator issues credentials only to advertising nodes, so a
+	// pre-credential node never sees the new bytes; whether its missing
+	// echoes are tolerated is the coordinator's CredentialMode policy.
+	Cred bool `json:"cred,omitempty"`
 }
 
 // Banner introduces the coordinator.
@@ -132,6 +137,9 @@ type TaskAssignMsg struct {
 	RefSeconds float64 `json:"ref_seconds"`
 	OutputSize int     `json:"output_size"`
 	Payload    []byte  `json:"payload,omitempty"`
+	// Cred is the result credential the worker must echo (empty when the
+	// session did not negotiate credentials).
+	Cred []byte `json:"cred,omitempty"`
 	// Trace is the backend dispatch span context for this assignment.
 	Trace span.Context `json:"trace,omitempty"`
 }
@@ -153,6 +161,8 @@ type TaskResultMsg struct {
 	JobID   int    `json:"job_id"`
 	TaskID  int    `json:"task_id"`
 	Payload []byte `json:"payload,omitempty"`
+	// Cred echoes the assignment's credential back to the coordinator.
+	Cred []byte `json:"cred,omitempty"`
 	// Trace is the worker's upload span context for this result.
 	Trace span.Context `json:"trace,omitempty"`
 }
@@ -168,6 +178,18 @@ type TaskResultMsg struct {
 // payload-length field disambiguates, and the suffix itself rejects
 // unknown flag bits. Untraced messages encode without the suffix, so
 // negotiated-off sessions are byte-identical to the PR 5 wire format.
+//
+// Result credentials add a second optional suffix on the assign/result
+// shapes, ordered [payload][cred(64)][trace(25)]: the trailing extra
+// bytes beyond the embedded payload length must total exactly 0, 25,
+// 64, or 89, all pairwise distinct, so the decoder stays strict. Both
+// suffixes ride only negotiated sessions (Hello.Cred × the
+// coordinator's CredentialMode), so pre-credential peers never see
+// them.
+
+// credentialLen mirrors backend.CredentialLen; the codec treats the
+// token as opaque fixed-size bytes.
+const credentialLen = 64
 
 // AppendTaskRequest appends the binary task-request payload to dst.
 func AppendTaskRequest(dst []byte, m *TaskRequestMsg) []byte {
@@ -204,30 +226,29 @@ func AppendTaskAssign(dst []byte, m *TaskAssignMsg) []byte {
 	dst = binary.BigEndian.AppendUint64(dst, uint64(int64(m.OutputSize)))
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Payload)))
 	dst = append(dst, m.Payload...)
+	if len(m.Cred) == credentialLen {
+		dst = append(dst, m.Cred...)
+	}
 	if m.Trace.Valid() {
 		dst = m.Trace.AppendBinary(dst)
 	}
 	return dst
 }
 
-// DecodeTaskAssign reverses AppendTaskAssign into m. The payload is
-// copied out of b, so b may be a reused frame buffer.
+// DecodeTaskAssign reverses AppendTaskAssign into m. The payload and
+// credential are copied out of b, so b may be a reused frame buffer.
 func DecodeTaskAssign(b []byte, m *TaskAssignMsg) error {
 	if len(b) < 36 {
 		return errors.New("transport: truncated task assign")
 	}
 	n := binary.BigEndian.Uint32(b[32:])
-	m.Trace = span.Context{}
-	switch uint64(n) {
-	case uint64(len(b) - 36):
-	case uint64(len(b) - 36 - span.EncodedLen):
-		ctx, err := span.DecodeBinary(b[len(b)-span.EncodedLen:])
-		if err != nil {
-			return errors.New("transport: malformed task assign trace context")
-		}
-		m.Trace = ctx
-	default:
+	if uint64(n) > uint64(len(b)-36) {
 		return errors.New("transport: task assign payload length mismatch")
+	}
+	tail := b[36+int(n):]
+	m.Cred, m.Trace = nil, span.Context{}
+	if err := decodeTaskSuffix(tail, &m.Cred, &m.Trace); err != nil {
+		return fmt.Errorf("transport: task assign %w", err)
 	}
 	m.JobID = int(int64(binary.BigEndian.Uint64(b)))
 	m.TaskID = int(int64(binary.BigEndian.Uint64(b[8:])))
@@ -237,6 +258,35 @@ func DecodeTaskAssign(b []byte, m *TaskAssignMsg) error {
 	if n > 0 {
 		m.Payload = append([]byte(nil), b[36:36+int(n)]...)
 	}
+	return nil
+}
+
+// decodeTaskSuffix parses the optional [cred(64)][trace(25)] tail shared
+// by the assign and result shapes. The four legal lengths are pairwise
+// distinct, so the shape stays strict without any flag byte.
+func decodeTaskSuffix(tail []byte, cred *[]byte, trace *span.Context) error {
+	withCred := false
+	switch len(tail) {
+	case 0:
+		return nil
+	case span.EncodedLen:
+	case credentialLen:
+		*cred = append([]byte(nil), tail...)
+		return nil
+	case credentialLen + span.EncodedLen:
+		withCred = true
+	default:
+		return errors.New("payload length mismatch")
+	}
+	if withCred {
+		*cred = append([]byte(nil), tail[:credentialLen]...)
+		tail = tail[credentialLen:]
+	}
+	ctx, err := span.DecodeBinary(tail)
+	if err != nil {
+		return errors.New("trace context malformed")
+	}
+	*trace = ctx
 	return nil
 }
 
@@ -267,30 +317,29 @@ func AppendTaskResult(dst []byte, m *TaskResultMsg) []byte {
 	dst = binary.BigEndian.AppendUint64(dst, uint64(int64(m.TaskID)))
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Payload)))
 	dst = append(dst, m.Payload...)
+	if len(m.Cred) == credentialLen {
+		dst = append(dst, m.Cred...)
+	}
 	if m.Trace.Valid() {
 		dst = m.Trace.AppendBinary(dst)
 	}
 	return dst
 }
 
-// DecodeTaskResult reverses AppendTaskResult into m. The payload is
-// copied out of b, so b may be a reused frame buffer.
+// DecodeTaskResult reverses AppendTaskResult into m. The payload and
+// credential are copied out of b, so b may be a reused frame buffer.
 func DecodeTaskResult(b []byte, m *TaskResultMsg) error {
 	if len(b) < 28 {
 		return errors.New("transport: truncated task result")
 	}
 	n := binary.BigEndian.Uint32(b[24:])
-	m.Trace = span.Context{}
-	switch uint64(n) {
-	case uint64(len(b) - 28):
-	case uint64(len(b) - 28 - span.EncodedLen):
-		ctx, err := span.DecodeBinary(b[len(b)-span.EncodedLen:])
-		if err != nil {
-			return errors.New("transport: malformed task result trace context")
-		}
-		m.Trace = ctx
-	default:
+	if uint64(n) > uint64(len(b)-28) {
 		return errors.New("transport: task result payload length mismatch")
+	}
+	tail := b[28+int(n):]
+	m.Cred, m.Trace = nil, span.Context{}
+	if err := decodeTaskSuffix(tail, &m.Cred, &m.Trace); err != nil {
+		return fmt.Errorf("transport: task result %w", err)
 	}
 	m.NodeID = binary.BigEndian.Uint64(b)
 	m.JobID = int(int64(binary.BigEndian.Uint64(b[8:])))
