@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet test race build cover bench-transport bench-fleet bench-obs bench-adversary
+.PHONY: check fmt vet test race build cover bench-transport bench-fleet bench-obs bench-adversary bench-image
 
 ## check: the full tier-1 gate — formatting, vet, build, tests with the
 ## race detector (the lifecycle churn stress must pass under -race),
@@ -31,9 +31,10 @@ race:
 ## scheduler (dispatch, lease reclaim, draining), the transport fast
 ## path (framing, binary codec, coordinator/node loops), and the fleet
 ## simulation harness (SoA engine, timing wheel integration, analytic
-## cross-validation), and the netsim layer (links, faults, and the
-## byzantine adversary plan).
-COVER_PKGS ?= ./internal/obs:85 ./internal/trace:85 ./internal/span:80 ./internal/core/controller:85 ./internal/journal:78 ./internal/core/backend:82 ./internal/transport:75 ./internal/fleet:75 ./internal/netsim:85
+## cross-validation), the netsim layer (links, faults, and the
+## byzantine adversary plan), and the DSM-CC carousel codec (hashes,
+## delta cycles, chunk cache, receiver interop).
+COVER_PKGS ?= ./internal/obs:85 ./internal/trace:85 ./internal/span:80 ./internal/core/controller:85 ./internal/journal:78 ./internal/core/backend:82 ./internal/transport:75 ./internal/fleet:75 ./internal/netsim:85 ./internal/dsmcc:80
 cover:
 	@for entry in $(COVER_PKGS); do \
 		pkg="$${entry%%:*}"; floor="$${entry##*:}"; \
@@ -73,3 +74,11 @@ bench-obs:
 ## than 3%.
 bench-adversary:
 	$(GO) run ./cmd/oddci-bench -sweep adversary -out BENCH_adversary.json
+
+## bench-image: regenerate the delta image distribution gate
+## (BENCH_image.json) — re-air wire bytes must stay within 1.25x the
+## changed module payload at 1/16, 1/4 and full deltas, cache-warm and
+## legacy receivers must both converge (the latter under 20% section
+## loss), and transport staging encodes must be flat in session count.
+bench-image:
+	$(GO) run ./cmd/oddci-bench -sweep image -out BENCH_image.json

@@ -42,6 +42,16 @@
 // and armed dispatch throughput within 3% of baseline:
 //
 //	oddci-bench -sweep adversary -out BENCH_adversary.json
+//
+// The image sweep gates the content-addressed delta distribution path:
+// a 16-module carousel re-airs 1/16, 1/4 and full deltas (re-air wire
+// bytes must stay ≤1.25× the changed payload, warm receivers converge
+// from the delta alone, legacy receivers converge from lossy full
+// cycles), and transport staging encodes must be flat from 1 to 16
+// sessions with a one-chunk UpdateImage costing exactly one re-encoded
+// chunk:
+//
+//	oddci-bench -sweep image -out BENCH_image.json
 package main
 
 import (
@@ -61,7 +71,7 @@ import (
 
 func main() {
 	var (
-		sweep = flag.String("sweep", "fig6", "one of fig6, fig7, table1, churn, backend, transport, fleet, obs, adversary")
+		sweep = flag.String("sweep", "fig6", "one of fig6, fig7, table1, churn, backend, transport, fleet, obs, adversary, image")
 		seed  = flag.Int64("seed", 2009, "random seed")
 		nodes = flag.Int("nodes", 200, "DES population for validated sweeps")
 		out   = flag.String("out", "", "output file for the backend/transport sweeps' JSON gate (default BENCH_<sweep>.json)")
@@ -103,6 +113,11 @@ func main() {
 			*out = "BENCH_adversary.json"
 		}
 		err = sweepAdversary(w, *seed, *out)
+	case "image":
+		if *out == "" {
+			*out = "BENCH_image.json"
+		}
+		err = sweepImage(w, *seed, *out)
 	default:
 		err = fmt.Errorf("unknown sweep %q", *sweep)
 	}

@@ -268,10 +268,16 @@ type InstanceStatus struct {
 }
 
 type instState struct {
-	id           instance.ID
-	spec         InstanceSpec
-	imageFile    string
-	imageDigest  appimage.Digest
+	id          instance.ID
+	spec        InstanceSpec
+	imageFile   string
+	imageDigest appimage.Digest
+	// imageRaw is the image's serialized bytes, encoded exactly once at
+	// Create/recovery. Carousel refreshes re-stage these bytes verbatim
+	// (the PR 5 encode-once property applied to the head-end): with
+	// content-hashed modules downstream, an unchanged image re-airs as a
+	// cache hit, never as a re-encode.
+	imageRaw     []byte
 	seq          uint32
 	wakeups      int
 	resets       int
@@ -376,6 +382,7 @@ type ctrlMetrics struct {
 	refreshDelay  *obs.Gauge // current backoff delay armed (seconds)
 	maintainTicks *obs.Counter
 	recoveredInst *obs.Counter
+	imageEncodes  *obs.Counter
 }
 
 // instrument creates metric handles and registers the gauge functions
@@ -398,6 +405,7 @@ func (c *Controller) instrument(reg *obs.Registry) {
 		refreshDelay:  reg.Gauge("oddci_controller_refresh_backoff_seconds", "Backoff delay armed for the next refresh retry"),
 		maintainTicks: reg.Counter("oddci_controller_maintenance_passes_total", "Maintenance loop passes"),
 		recoveredInst: reg.Counter("oddci_controller_instances_recovered_total", "Instances recovered from snapshot+journal at startup"),
+		imageEncodes:  reg.Counter("oddci_controller_image_encodes_total", "Image serializations performed (once per instance create, flat in refresh count)"),
 	}
 	if reg == nil {
 		return
@@ -512,7 +520,8 @@ func (c *Controller) recover() error {
 		}
 		digest := appimage.DigestOf(rec.Image)
 		is := &instState{
-			id: instance.ID(rec.ID),
+			id:       instance.ID(rec.ID),
+			imageRaw: rec.Image,
 			spec: InstanceSpec{
 				Image:           img,
 				Target:          int(rec.Target),
@@ -594,7 +603,7 @@ func journalRecordLocked(st *instState) journal.InstanceRecord {
 	if st.lastWakeup != nil {
 		rec.Probability = st.lastWakeup.Probability
 	}
-	rec.Image, _ = st.spec.Image.Encode() // validated at Create
+	rec.Image = st.imageRaw // encoded once at Create/recovery
 	return rec
 }
 
@@ -695,8 +704,7 @@ func (c *Controller) carouselFilesLocked() []dsmcc.File {
 	}
 	for _, st := range c.orderedLocked() {
 		if !st.destroyed {
-			raw, _ := st.spec.Image.Encode() // validated at Create
-			files = append(files, dsmcc.File{Name: st.imageFile, Data: raw})
+			files = append(files, dsmcc.File{Name: st.imageFile, Data: st.imageRaw})
 		}
 	}
 	return files
@@ -963,10 +971,14 @@ func (c *Controller) CreateInstance(spec InstanceSpec) (instance.ID, error) {
 	if spec.InitialProbability < 0 || spec.InitialProbability > 1 {
 		return 0, errors.New("controller: initial probability out of [0,1]")
 	}
-	digest, err := spec.Image.Digest()
+	// Serialize the image exactly once; every carousel refresh and
+	// journal record reuses these bytes.
+	imageRaw, err := spec.Image.Encode()
 	if err != nil {
 		return 0, fmt.Errorf("controller: image: %w", err)
 	}
+	digest := appimage.DigestOf(imageRaw)
+	c.met.imageEncodes.Inc()
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -981,6 +993,7 @@ func (c *Controller) CreateInstance(spec InstanceSpec) (instance.ID, error) {
 		spec:        spec,
 		imageFile:   fmt.Sprintf("image.%d", id),
 		imageDigest: digest,
+		imageRaw:    imageRaw,
 		members:     make(map[uint64]time.Time),
 		wakeupAt:    now,
 		createdAt:   now,

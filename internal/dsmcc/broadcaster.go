@@ -34,9 +34,13 @@ type Broadcaster struct {
 	// airedWire accumulates the wire bytes broadcast by generations that
 	// have already been replaced; the live generation's contribution is
 	// its stream position (telemetry).
-	airedWire int64
-	commits   *obs.Counter
-	delivered *obs.Counter
+	airedWire    int64
+	commits      *obs.Counter
+	delivered    *obs.Counter
+	deltaBytes   *obs.Counter
+	deltaModules *obs.Counter
+	savedBytes   *obs.Counter
+	cacheServed  *obs.Counter
 }
 
 // Instrument registers broadcast telemetry against reg: cumulative
@@ -49,6 +53,10 @@ func (b *Broadcaster) Instrument(reg *obs.Registry) {
 	b.mu.Lock()
 	b.commits = reg.Counter("oddci_dsmcc_updates_committed_total", "Carousel content updates committed at cycle boundaries")
 	b.delivered = reg.Counter("oddci_dsmcc_file_deliveries_total", "Receiver file deliveries completed")
+	b.deltaBytes = reg.Counter("oddci_dsmcc_delta_air_bytes_total", "Wire bytes of delta re-airs (DII + changed modules) across commits")
+	b.deltaModules = reg.Counter("oddci_dsmcc_delta_modules_total", "Changed modules carried by delta re-airs across commits")
+	b.savedBytes = reg.Counter("oddci_dsmcc_reair_saved_bytes_total", "Wire bytes a full re-air would have cost beyond the delta, across commits")
+	b.cacheServed = reg.Counter("oddci_dsmcc_cache_deliveries_total", "File deliveries satisfied from a receiver chunk cache at DII time")
 	b.mu.Unlock()
 	reg.GaugeFunc("oddci_dsmcc_broadcast_bytes", "Cumulative wire bytes aired by the carousel", func() float64 {
 		b.mu.Lock()
@@ -61,7 +69,11 @@ func (b *Broadcaster) Instrument(reg *obs.Registry) {
 	reg.GaugeFunc("oddci_dsmcc_cycle_seconds", "Air time of one full carousel cycle", func() float64 {
 		return b.CycleDuration().Seconds()
 	})
-	reg.GaugeFunc("oddci_dsmcc_generation", "Carousel generation on air", func() float64 {
+	// The generation gauge reflects the raw uint32 and saws back to 0
+	// when a long-lived carousel wraps; treat it as an identifier, not a
+	// monotone series (oddci_dsmcc_updates_committed_total is the
+	// monotone one). Receivers compare generations with NewerGeneration.
+	reg.GaugeFunc("oddci_dsmcc_generation", "Carousel generation on air (wraps at 2^32; compare with serial-number arithmetic)", func() float64 {
 		return float64(b.Generation())
 	})
 }
@@ -178,6 +190,13 @@ func (b *Broadcaster) commit() {
 	b.layout = l
 	b.origin = b.clk.Now()
 	b.commits.Inc()
+	// Delta accounting: what this commit costs to re-air (DII + changed
+	// modules) versus the full cycle a delta-unaware head-end would burn.
+	b.deltaBytes.Add(l.DeltaWire)
+	b.deltaModules.Add(int64(l.ChangedModules))
+	if saved := l.CycleWire - l.DeltaWire; saved > 0 {
+		b.savedBytes.Add(saved)
+	}
 	gen := l.Generation
 	at := b.origin
 	listeners := make([]func(uint32, time.Time), 0, len(b.genListeners))
@@ -225,6 +244,89 @@ func (b *Broadcaster) RequestFile(name string, strategy ReceiverStrategy, fn fun
 		return
 	}
 	b.scheduleDeliveryLocked(name, strategy, fn)
+}
+
+// RequestFileCached is RequestFile for a receiver holding a persistent
+// chunk cache. If the cache already holds the named module's current
+// content (by hash), delivery completes as soon as the next DII airs —
+// the receiver needs only the directory to learn its local bytes are
+// current, which is what shrinks a re-stage from I/β to changed/β.
+// Otherwise the read proceeds on the normal cyclic schedule and the
+// delivered bytes are published into the cache for next time. Against a
+// pre-hash carousel (no hash extension) this degrades to RequestFile
+// exactly.
+func (b *Broadcaster) RequestFileCached(name string, cache *ChunkCache, strategy ReceiverStrategy, fn func(data []byte, at time.Time, err error)) {
+	if cache == nil {
+		b.RequestFile(name, strategy, fn)
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.started {
+		now := b.clk.Now()
+		b.clk.AfterFunc(0, func() { fn(nil, now, errors.New("dsmcc: broadcaster not started")) })
+		return
+	}
+	b.scheduleCachedLocked(name, cache, strategy, fn)
+}
+
+func (b *Broadcaster) scheduleCachedLocked(name string, cache *ChunkCache, strategy ReceiverStrategy, fn func([]byte, time.Time, error)) {
+	now := b.clk.Now()
+	e, ok := b.layout.Entry(name)
+	if !ok {
+		b.clk.AfterFunc(0, func() { fn(nil, now, ErrNoSuchFile) })
+		return
+	}
+	var cached []byte
+	hit := false
+	if e.Hash != 0 {
+		cached, hit = cache.Get(e.Hash)
+	}
+	if !hit {
+		// Air path; publish the delivered bytes for future reads.
+		b.scheduleDeliveryLocked(name, strategy, func(d []byte, at time.Time, err error) {
+			if err == nil {
+				cache.Put(HashOf(d), d)
+			}
+			fn(d, at, err)
+		})
+		return
+	}
+	// Cache hit: done once the next DII airs and confirms the hash.
+	version := e.Version
+	pos := b.positionLocked(now)
+	w := b.layout.CycleWire
+	k := pos / w
+	done := k*w + b.layout.DIIWire
+	if pos-k*w > 0 {
+		done += w // mid-cycle: the next DII starts a cycle later
+	}
+	at := b.origin.Add(b.airTime(done))
+	delay := at.Sub(now)
+	if delay < 0 {
+		delay = 0
+	}
+	b.clk.AfterFunc(delay, func() {
+		b.mu.Lock()
+		cur, ok := b.layout.Entry(name)
+		switch {
+		case !ok:
+			b.mu.Unlock()
+			fn(nil, b.clk.Now(), ErrNoSuchFile)
+			return
+		case cur.Version != version:
+			// Content changed before the DII aired: re-evaluate — the
+			// new content may be cached too.
+			b.scheduleCachedLocked(name, cache, strategy, fn)
+			b.mu.Unlock()
+			return
+		}
+		delivered, served := b.delivered, b.cacheServed
+		b.mu.Unlock()
+		delivered.Inc()
+		served.Inc()
+		fn(append([]byte(nil), cached...), b.clk.Now(), nil)
+	})
 }
 
 func (b *Broadcaster) scheduleDeliveryLocked(name string, strategy ReceiverStrategy, fn func([]byte, time.Time, error)) {

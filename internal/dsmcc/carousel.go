@@ -26,8 +26,11 @@ type Carousel struct {
 	generation uint32
 	moduleIDs  map[string]uint16
 	versions   map[string]uint8
+	hashes     map[string]ModuleHash
+	changed    map[string]bool
 	nextModule uint16
 	files      []File
+	noHashExt  bool
 }
 
 // NewCarousel returns an empty carousel transmitting on pid. blockSize 0
@@ -44,8 +47,15 @@ func NewCarousel(pid uint16, blockSize int) (*Carousel, error) {
 		blockSize: blockSize,
 		moduleIDs: make(map[string]uint16),
 		versions:  make(map[string]uint8),
+		hashes:    make(map[string]ModuleHash),
+		changed:   make(map[string]bool),
 	}, nil
 }
+
+// SetHashExtension toggles the DII content-hash extension (on by
+// default). Turning it off models a pre-hash head-end for
+// mixed-version interop tests.
+func (c *Carousel) SetHashExtension(on bool) { c.noHashExt = !on }
 
 // Generation returns the current content generation (the DII transaction
 // id). It starts at 0 (empty) and increments on every SetFiles.
@@ -80,6 +90,7 @@ func (c *Carousel) SetFiles(files []File) error {
 	for _, f := range c.files {
 		old[f.Name] = f.Data
 	}
+	c.changed = make(map[string]bool)
 	for _, f := range files {
 		if _, ok := c.moduleIDs[f.Name]; !ok {
 			c.moduleIDs[f.Name] = c.nextModule
@@ -90,6 +101,8 @@ func (c *Carousel) SetFiles(files []File) error {
 				c.versions[f.Name]++
 			}
 			// New files keep version 0 (map zero value).
+			c.changed[f.Name] = true
+			c.hashes[f.Name] = HashOf(f.Data)
 		}
 	}
 	sorted := append([]File(nil), files...)
@@ -99,6 +112,18 @@ func (c *Carousel) SetFiles(files []File) error {
 	c.files = sorted
 	c.generation++
 	return nil
+}
+
+// Changed returns the names whose content changed (or first appeared)
+// in the most recent SetFiles — the delta a re-air needs to carry.
+func (c *Carousel) Changed() []string {
+	out := make([]string, 0, len(c.changed))
+	for _, f := range c.files {
+		if c.changed[f.Name] {
+			out = append(out, f.Name)
+		}
+	}
+	return out
 }
 
 func bytesEqual(a, b []byte) bool {
@@ -121,12 +146,16 @@ func (c *Carousel) DII() *DII {
 		BlockSize:     uint16(c.blockSize),
 	}
 	for _, f := range c.files {
-		d.Modules = append(d.Modules, ModuleInfo{
+		m := ModuleInfo{
 			ID:      c.moduleIDs[f.Name],
 			Version: c.versions[f.Name],
 			Size:    uint32(len(f.Data)),
 			Name:    f.Name,
-		})
+		}
+		if !c.noHashExt {
+			m.Hash = c.hashes[f.Name]
+		}
+		d.Modules = append(d.Modules, m)
 	}
 	return d
 }
@@ -143,29 +172,65 @@ func (c *Carousel) EncodeCycle() ([][]byte, error) {
 	}
 	out := [][]byte{dii}
 	for _, f := range c.files {
-		id := c.moduleIDs[f.Name]
-		ver := c.versions[f.Name]
-		for blk, off := 0, 0; off < len(f.Data) || (len(f.Data) == 0 && blk == 0); blk++ {
-			end := off + c.blockSize
-			if end > len(f.Data) {
-				end = len(f.Data)
-			}
-			ddb := &DDB{
-				DownloadID:  c.DownloadID,
-				ModuleID:    id,
-				Version:     ver,
-				BlockNumber: uint16(blk),
-				Data:        f.Data[off:end],
-			}
-			sec, err := ddb.Encode()
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, sec)
-			off = end
-			if len(f.Data) == 0 {
-				break
-			}
+		out, err = c.appendModuleSections(out, f)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// EncodeDeltaCycle emits the sections of one delta re-air: the full DII
+// (directory plus content hashes) followed by the blocks of only those
+// modules whose content changed in the last SetFiles. A hash-aware
+// receiver with a warm chunk cache converges from this alone; a
+// hash-unaware or cold receiver treats the unchanged modules as lost
+// blocks and heals from the regular full cycles that follow.
+func (c *Carousel) EncodeDeltaCycle() ([][]byte, error) {
+	if len(c.files) == 0 {
+		return nil, errors.New("dsmcc: empty carousel")
+	}
+	dii, err := c.DII().Encode()
+	if err != nil {
+		return nil, err
+	}
+	out := [][]byte{dii}
+	for _, f := range c.files {
+		if !c.changed[f.Name] {
+			continue
+		}
+		out, err = c.appendModuleSections(out, f)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// appendModuleSections encodes one module's DDB run onto out.
+func (c *Carousel) appendModuleSections(out [][]byte, f File) ([][]byte, error) {
+	id := c.moduleIDs[f.Name]
+	ver := c.versions[f.Name]
+	for blk, off := 0, 0; off < len(f.Data) || (len(f.Data) == 0 && blk == 0); blk++ {
+		end := off + c.blockSize
+		if end > len(f.Data) {
+			end = len(f.Data)
+		}
+		ddb := &DDB{
+			DownloadID:  c.DownloadID,
+			ModuleID:    id,
+			Version:     ver,
+			BlockNumber: uint16(blk),
+			Data:        f.Data[off:end],
+		}
+		sec, err := ddb.Encode()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sec)
+		off = end
+		if len(f.Data) == 0 {
+			break
 		}
 	}
 	return out, nil
@@ -192,6 +257,12 @@ type LayoutEntry struct {
 	Size      int
 	WireStart int64
 	WireEnd   int64
+	// Hash is the module's content address (zero with the hash
+	// extension disabled).
+	Hash ModuleHash
+	// Changed marks modules whose content changed in the SetFiles this
+	// layout was computed from — the delta re-air set.
+	Changed bool
 }
 
 // Layout is the wire-byte schedule of one carousel cycle. Offset 0 is
@@ -199,8 +270,15 @@ type LayoutEntry struct {
 type Layout struct {
 	Generation uint32
 	CycleWire  int64
-	Entries    []LayoutEntry
-	byName     map[string]*LayoutEntry
+	// DIIWire is the on-air cost of the directory section alone; a
+	// cache-warm receiver converges after hearing just this much.
+	DIIWire int64
+	// DeltaWire is the wire cost of one delta re-air (DII + changed
+	// modules), and ChangedModules counts the modules it carries.
+	DeltaWire      int64
+	ChangedModules int
+	Entries        []LayoutEntry
+	byName         map[string]*LayoutEntry
 }
 
 // Layout computes the current cycle's schedule without encoding payload
@@ -216,6 +294,8 @@ func (c *Carousel) Layout() (*Layout, error) {
 	}
 	l := &Layout{Generation: c.generation, byName: make(map[string]*LayoutEntry)}
 	pos := sectionWireBytes(len(dii))
+	l.DIIWire = pos
+	l.DeltaWire = pos
 	for _, f := range c.files {
 		e := LayoutEntry{
 			Name:      f.Name,
@@ -223,6 +303,10 @@ func (c *Carousel) Layout() (*Layout, error) {
 			Version:   c.versions[f.Name],
 			Size:      len(f.Data),
 			WireStart: pos,
+			Changed:   c.changed[f.Name],
+		}
+		if !c.noHashExt {
+			e.Hash = c.hashes[f.Name]
 		}
 		blocks := (len(f.Data) + c.blockSize - 1) / c.blockSize
 		if blocks == 0 {
@@ -237,6 +321,10 @@ func (c *Carousel) Layout() (*Layout, error) {
 			pos += sectionWireBytes(secLen)
 		}
 		e.WireEnd = pos
+		if e.Changed {
+			l.DeltaWire += pos - e.WireStart
+			l.ChangedModules++
+		}
 		l.Entries = append(l.Entries, e)
 		l.byName[f.Name] = &l.Entries[len(l.Entries)-1]
 	}

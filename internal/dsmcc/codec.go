@@ -13,6 +13,7 @@
 package dsmcc
 
 import (
+	"crypto/sha256"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -32,12 +33,57 @@ const (
 	ddbHeaderLen = 9  // downloadId(4) moduleId(2) version(1) blockNumber(2)
 )
 
+// ModuleHash is the content address of one module's bytes: SHA-256
+// truncated to a fixed 8-byte wire field. Truncation keeps the DII
+// within its one-section budget; at 64 bits an accidental collision
+// needs ~2³² distinct module contents on one carousel, far beyond any
+// deployment here. Zero means "no hash known" (a pre-hash sender or a
+// module whose hash was never computed); HashOf never returns zero.
+type ModuleHash uint64
+
+// HashLen is the wire size of a ModuleHash.
+const HashLen = 8
+
+// diiHashExtTag introduces the hash extension appended after a DII's
+// module list. Pre-hash decoders read exactly numModules entries and
+// ignore trailing payload bytes, so the extension is invisible to them.
+const diiHashExtTag = 0x01
+
+// HashOf content-addresses data. The zero value is reserved as "no
+// hash", so the (astronomically unlikely) all-zero truncation is mapped
+// to 1.
+func HashOf(data []byte) ModuleHash {
+	sum := sha256.Sum256(data)
+	h := ModuleHash(binary.BigEndian.Uint64(sum[:HashLen]))
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// String renders the hash as fixed-width hex.
+func (h ModuleHash) String() string { return fmt.Sprintf("%016x", uint64(h)) }
+
+// NewerGeneration reports whether generation a is newer than b under
+// serial-number arithmetic (RFC 1982): a is newer iff (a-b) mod 2³²
+// lies in (0, 2³¹). This is how receivers must compare DII
+// TransactionIDs — a plain a > b stalls forever when a long-lived
+// carousel wraps 2³²→0, and accepts ancient stragglers as fresh.
+// Exactly opposite values (distance 2³¹) are incomparable and report
+// false in both directions.
+func NewerGeneration(a, b uint32) bool {
+	return a != b && a-b < 1<<31
+}
+
 // ModuleInfo describes one module (one file) within a DII.
 type ModuleInfo struct {
 	ID      uint16
 	Version uint8
 	Size    uint32
 	Name    string
+	// Hash is the module's content address, or zero when the sender did
+	// not provide one.
+	Hash ModuleHash
 }
 
 // DII is the DownloadInfoIndication: the carousel's directory.
@@ -60,6 +106,7 @@ func (d *DII) Encode() ([]byte, error) {
 	buf = binary.BigEndian.AppendUint32(buf, d.DownloadID)
 	buf = binary.BigEndian.AppendUint16(buf, d.BlockSize)
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(d.Modules)))
+	hashed := false
 	for _, m := range d.Modules {
 		if len(m.Name) > 255 {
 			return nil, fmt.Errorf("dsmcc: module name %q too long", m.Name)
@@ -69,6 +116,17 @@ func (d *DII) Encode() ([]byte, error) {
 		buf = binary.BigEndian.AppendUint32(buf, m.Size)
 		buf = append(buf, byte(len(m.Name)))
 		buf = append(buf, m.Name...)
+		if m.Hash != 0 {
+			hashed = true
+		}
+	}
+	if hashed {
+		// Content-hash extension: appended after the module list so
+		// pre-hash decoders (which stop after numModules entries) skip it.
+		buf = append(buf, diiHashExtTag)
+		for _, m := range d.Modules {
+			buf = binary.BigEndian.AppendUint64(buf, uint64(m.Hash))
+		}
 	}
 	if len(buf) > mpegts.MaxSectionPayload {
 		return nil, errors.New("dsmcc: DII exceeds one section; split the carousel")
@@ -120,6 +178,15 @@ func DecodeDII(raw []byte) (*DII, error) {
 		m.Name = string(b[:nameLen])
 		b = b[nameLen:]
 		d.Modules = append(d.Modules, m)
+	}
+	// Optional content-hash extension. A malformed or unknown trailer is
+	// ignored (hashes stay zero) — that is the legacy decoder's behaviour
+	// too, so mixed-version carousels degrade instead of erroring.
+	if len(b) >= 1+HashLen*n && b[0] == diiHashExtTag {
+		b = b[1:]
+		for i := 0; i < n; i++ {
+			d.Modules[i].Hash = ModuleHash(binary.BigEndian.Uint64(b[i*HashLen:]))
+		}
 	}
 	return d, nil
 }

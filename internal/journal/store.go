@@ -8,9 +8,9 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
-	"time"
 
 	"oddci/internal/obs"
+	"oddci/internal/simtime"
 )
 
 // File names inside a state directory. The snapshot is replaced
@@ -35,6 +35,11 @@ type Options struct {
 	// and a "journal-stalled" health check that fails once any append
 	// or compaction has errored.
 	Obs *obs.Registry
+	// Clock stamps replay timing (default: the wall clock). Injecting
+	// the deployment's simtime.Clock keeps telemetry byte-identical
+	// under deterministic replay — a frozen sim clock must never leak
+	// host time into the metrics.
+	Clock simtime.Clock
 }
 
 // Store persists a snapshot + journal pair in a directory. It is safe
@@ -65,6 +70,9 @@ type Store struct {
 func Open(dir string, opts Options) (*Store, error) {
 	if opts.CompactEvery <= 0 {
 		opts.CompactEvery = 256
+	}
+	if opts.Clock == nil {
+		opts.Clock = simtime.NewReal()
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("journal: state dir: %w", err)
@@ -128,7 +136,7 @@ func (s *Store) instrument(reg *obs.Registry) {
 // yields an empty state; corruption is reported with the codec's typed
 // errors and nothing is replayed past it.
 func (s *Store) Load() (*State, error) {
-	start := time.Now()
+	start := s.opts.Clock.Now()
 	var snap *Snapshot
 	if b, err := os.ReadFile(filepath.Join(s.dir, snapshotFile)); err == nil {
 		snap, err = DecodeSnapshot(b)
@@ -152,7 +160,7 @@ func (s *Store) Load() (*State, error) {
 	s.mu.Unlock()
 	if s.replayed != nil {
 		s.replayed.Add(int64(len(recs)))
-		s.replayTime.ObserveDuration(time.Since(start))
+		s.replayTime.ObserveDuration(s.opts.Clock.Now().Sub(start))
 	}
 	return st, nil
 }

@@ -5,9 +5,12 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 
 	"oddci/internal/obs"
+	"oddci/internal/simtime"
 )
 
 // liveInstance is randInstance constrained to a non-destroyed record,
@@ -207,5 +210,45 @@ func TestLoadOrCreateKeyPersists(t *testing.T) {
 	}
 	if _, err := LoadOrCreateKey(dir); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("short key file = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestLoadFrozenClockDeterministicTelemetry pins the satellite fix for
+// the host-clock leak in Load: replay timing must come from the
+// injected simtime.Clock, so two replays of the same journal under a
+// frozen sim clock render byte-identical telemetry (and a zero replay
+// histogram). Before the fix, time.Now() stamped host wall time into
+// oddci_journal_replay_seconds and no two replays matched.
+func TestLoadFrozenClockDeterministicTelemetry(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(11))
+	s := openTestStore(t, dir, Options{})
+	for id := uint64(1); id <= 5; id++ {
+		if err := s.Append(Record{Op: OpCreate, Inst: liveInstance(rng, id)}); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	render := func() string {
+		clk := simtime.NewSim(time.Unix(1_000_000, 0)) // frozen: never advanced
+		reg := obs.NewRegistry()
+		st := openTestStore(t, dir, Options{Obs: reg, Clock: clk})
+		if _, err := st.Load(); err != nil {
+			t.Fatalf("Load: %v", err)
+		}
+		if v, ok := reg.Value("oddci_journal_replay_seconds_sum"); ok && v != 0 {
+			t.Fatalf("replay histogram sum = %v under a frozen clock, want 0 (host clock leaked)", v)
+		}
+		return reg.RenderPrometheus()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("telemetry differs across identical frozen-clock replays:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+	if !strings.Contains(a, "oddci_journal_replayed_records_total 5") {
+		t.Fatalf("replayed-records counter missing or wrong:\n%s", a)
 	}
 }

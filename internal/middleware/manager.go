@@ -32,6 +32,16 @@ type ObjectCarousel interface {
 // transmitters"). A nil Authenticator accepts everything.
 type Authenticator func(classFile string, code []byte) error
 
+// CachedCarousel is the optional content-addressed extension of
+// ObjectCarousel: carriers that know per-module content hashes (the
+// dsmcc Broadcaster) can satisfy reads from a receiver-local chunk
+// cache at DII latency instead of re-airing the full module. Carriers
+// without hashes (flute) simply don't implement it and reads degrade to
+// RequestFile.
+type CachedCarousel interface {
+	RequestFileCached(name string, cache *dsmcc.ChunkCache, strategy dsmcc.ReceiverStrategy, fn func(data []byte, at time.Time, err error))
+}
+
 // Config parameterizes an application manager.
 type Config struct {
 	// Strategy selects how the carousel is read (FileGranularity is the
@@ -41,6 +51,11 @@ type Config struct {
 	Authenticate Authenticator
 	// Rng drives this receiver's signalling phase. Required.
 	Rng *rand.Rand
+	// Cache, if set, is this receiver's persistent chunk store: file
+	// reads go through the carousel's content-addressed fast path when
+	// it offers one. The cache typically belongs to the set-top box and
+	// survives the manager (power cycles).
+	Cache *dsmcc.ChunkCache
 }
 
 // Manager is the receiver's application manager: it watches the AIT,
@@ -283,6 +298,12 @@ func (c *managerContext) Clock() simtime.Clock { return c.m.clk }
 func (c *managerContext) AppKey() uint64       { return c.key }
 
 func (c *managerContext) ReadFile(name string, fn func([]byte, error)) {
+	if cc, ok := c.m.bcast.(CachedCarousel); ok && c.m.cfg.Cache != nil {
+		cc.RequestFileCached(name, c.m.cfg.Cache, c.m.cfg.Strategy, func(data []byte, _ time.Time, err error) {
+			fn(data, err)
+		})
+		return
+	}
 	c.m.bcast.RequestFile(name, c.m.cfg.Strategy, func(data []byte, _ time.Time, err error) {
 		fn(data, err)
 	})

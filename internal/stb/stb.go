@@ -94,6 +94,13 @@ type Config struct {
 	Authenticate middleware.Authenticator
 	// Rng drives this receiver's phases and churn. Required.
 	Rng *rand.Rand
+	// ChunkCacheBytes sizes this receiver's persistent chunk store
+	// (flash-backed, so it survives power cycles). Zero disables
+	// caching; negative selects dsmcc.DefaultChunkCacheBytes.
+	ChunkCacheBytes int64
+	// CacheMetrics, if set, aggregates the chunk cache's telemetry
+	// (typically shared across the deployment's whole fleet).
+	CacheMetrics *dsmcc.CacheMetrics
 }
 
 // STB is one simulated receiver.
@@ -105,6 +112,7 @@ type STB struct {
 	powered   bool
 	mgr       *middleware.Manager
 	factories map[string]xlet.Factory
+	cache     *dsmcc.ChunkCache
 
 	churning   bool
 	churnTimer simtime.Timer
@@ -130,8 +138,25 @@ func New(cfg Config) (*STB, error) {
 	if cfg.Perf.SlowdownVsPC == 0 {
 		cfg.Perf = DefaultPerf()
 	}
-	return &STB{cfg: cfg, mode: cfg.Mode, factories: make(map[string]xlet.Factory)}, nil
+	s := &STB{cfg: cfg, mode: cfg.Mode, factories: make(map[string]xlet.Factory)}
+	if cfg.ChunkCacheBytes != 0 {
+		size := cfg.ChunkCacheBytes
+		if size < 0 {
+			size = dsmcc.DefaultChunkCacheBytes
+		}
+		// The chunk cache lives on the STB, not the middleware: like the
+		// factory registrations it models persistent (flash) state, so a
+		// power cycle reboots into warm content-addressed storage and a
+		// recomposed image re-stages as a delta.
+		s.cache = dsmcc.NewChunkCache(size)
+		s.cache.Instrument(cfg.CacheMetrics)
+	}
+	return s, nil
 }
+
+// ChunkCache exposes the receiver's persistent chunk store (nil when
+// caching is disabled).
+func (s *STB) ChunkCache() *dsmcc.ChunkCache { return s.cache }
 
 // ID returns the device identifier.
 func (s *STB) ID() uint64 { return s.cfg.ID }
@@ -194,6 +219,7 @@ func (s *STB) PowerOn() error {
 		Strategy:     s.cfg.Strategy,
 		Authenticate: s.cfg.Authenticate,
 		Rng:          rand.New(rand.NewSource(s.cfg.Rng.Int63())),
+		Cache:        s.cache,
 	})
 	if err != nil {
 		s.mu.Unlock()

@@ -118,6 +118,12 @@ type Config struct {
 	// RestartController exercise a hard stop + snapshot/journal recovery
 	// while the carousel keeps cycling and the devices stay up.
 	StateDir string
+	// ChunkCacheBytes gives every set-top box a persistent
+	// content-addressed chunk cache of this size (surviving power
+	// cycles), so image updates re-stage as deltas: unchanged carousel
+	// modules are served locally at DII latency. Zero disables caching;
+	// negative selects dsmcc.DefaultChunkCacheBytes.
+	ChunkCacheBytes int64
 }
 
 // DeviceSpec is one stratum of a heterogeneous population.
@@ -300,7 +306,7 @@ func New(cfg Config) (*System, error) {
 	var store *journal.Store
 	if cfg.StateDir != "" {
 		var err error
-		store, err = journal.Open(cfg.StateDir, journal.Options{Obs: cfg.Obs})
+		store, err = journal.Open(cfg.StateDir, journal.Options{Obs: cfg.Obs, Clock: clk})
 		if err != nil {
 			return nil, err
 		}
@@ -371,6 +377,10 @@ func New(cfg Config) (*System, error) {
 		return cfg.DeviceMix[len(cfg.DeviceMix)-1].Profile
 	}
 
+	var cacheMet *dsmcc.CacheMetrics
+	if cfg.ChunkCacheBytes != 0 {
+		cacheMet = dsmcc.NewCacheMetrics(cfg.Obs)
+	}
 	linkCfg := netsim.LinkConfig{RateBps: cfg.Delta, Latency: cfg.DirectLatency}
 	for i := 0; i < cfg.Nodes; i++ {
 		nodeID := uint64(i + 1)
@@ -389,6 +399,9 @@ func New(cfg Config) (*System, error) {
 			Mode:        mode,
 			Strategy:    cfg.Strategy,
 			Rng:         nodeRng,
+
+			ChunkCacheBytes: cfg.ChunkCacheBytes,
+			CacheMetrics:    cacheMet,
 		})
 		if err != nil {
 			return nil, err
@@ -534,7 +547,7 @@ func (s *System) RestartController() error {
 	cfg.Rng = rand.New(rand.NewSource(s.restartRng.Int63()))
 	s.mu.Unlock()
 
-	store, err := journal.Open(s.cfg.StateDir, journal.Options{Obs: s.cfg.Obs})
+	store, err := journal.Open(s.cfg.StateDir, journal.Options{Obs: s.cfg.Obs, Clock: s.Clock})
 	if err != nil {
 		return err
 	}

@@ -16,6 +16,7 @@ import (
 	"oddci/internal/control"
 	"oddci/internal/core/backend"
 	"oddci/internal/core/instance"
+	"oddci/internal/dsmcc"
 	"oddci/internal/journal"
 	"oddci/internal/obs"
 	"oddci/internal/simtime"
@@ -78,6 +79,50 @@ type CoordinatorConfig struct {
 	// broadcast re-evaluate the new one instead of ignoring a replayed
 	// seq.
 	StateDir string
+	// ImageChunkBytes is the split size of the content-addressed image
+	// plane (default 256 KiB). Delta-capable nodes receive the image as
+	// a manifest plus hash-addressed chunks, so an UpdateImage re-stages
+	// only the chunks whose content actually changed.
+	ImageChunkBytes int
+}
+
+// imageStage is one immutable generation of the staged broadcast: the
+// signed control frame, the legacy full-image frame, and the
+// content-addressed manifest + chunk frames. Sessions read the current
+// stage through an atomic pointer; UpdateImage swaps in a successor
+// that reuses every pre-encoded chunk frame whose hash survived, so
+// re-staging re-encodes only changed content (the PR 5 encode-once
+// property, now per chunk instead of per image).
+type imageStage struct {
+	epoch   uint64
+	seq     uint32
+	wakeups uint32
+	imgRaw  []byte
+
+	ctrlFrame     []byte
+	imageFrame    []byte
+	manifestFrame []byte
+	// hashes lists the chunks in assembly order; chunkFrames holds each
+	// distinct chunk pre-encoded as a complete frame.
+	hashes      []string
+	chunkFrames map[string][]byte
+	// broadcast is ctrlFrame+imageFrame concatenated: the two-frame push
+	// legacy sessions receive verbatim.
+	broadcast []byte
+}
+
+// splitChunks cuts raw into n-byte slices (the last may be short).
+func splitChunks(raw []byte, n int) [][]byte {
+	var out [][]byte
+	for len(raw) > 0 {
+		k := n
+		if k > len(raw) {
+			k = len(raw)
+		}
+		out = append(out, raw[:k])
+		raw = raw[k:]
+	}
+	return out
 }
 
 // nodeSetShards stripes the distinct-node set so concurrent sessions
@@ -156,6 +201,8 @@ type coordMetrics struct {
 	bytesIn         *obs.Counter
 	bytesOut        *obs.Counter
 	broadcastBytes  *obs.Counter
+	restages        *obs.Counter
+	restageBytes    *obs.Counter
 
 	readLat  *obs.Histogram
 	writeLat *obs.Histogram
@@ -168,17 +215,20 @@ type Coordinator struct {
 	pub       ed25519.PublicKey
 	be        *backend.Backend
 	store     *journal.Store
-	seq       uint32
 	recovered bool
 
 	// Encode-once broadcast: the banner frame and the staged carousel
-	// (control file + image) are encoded at construction and written
-	// verbatim to every session — per-node cost is a memcpy into the
-	// socket, never a marshal.
+	// (control file + image, chunked and legacy forms) are encoded at
+	// construction and written verbatim to every session — per-node cost
+	// is a memcpy into the socket, never a marshal. UpdateImage swaps
+	// the stage pointer; sessions pick the new generation up at their
+	// next heartbeat.
 	bannerFrame  []byte
-	broadcast    []byte
+	stage        atomic.Pointer[imageStage]
 	hbReplyFrame []byte
 	encodeOps    atomic.Int64
+	// updateMu serializes UpdateImage (stage readers are lock-free).
+	updateMu sync.Mutex
 
 	// wakeupCtx is the root wakeup span's context — one constant per
 	// coordinator lifetime, so the banner carrying it stays a shared
@@ -229,7 +279,7 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 			cfg.Key = key
 		}
 		var err error
-		store, err = journal.Open(cfg.StateDir, journal.Options{})
+		store, err = journal.Open(cfg.StateDir, journal.Options{Obs: cfg.Obs, Clock: cfg.Clock})
 		if err != nil {
 			return nil, err
 		}
@@ -318,6 +368,9 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	if cfg.LeaseBase <= 0 {
 		cfg.LeaseBase = 30 * time.Second
 	}
+	if cfg.ImageChunkBytes <= 0 {
+		cfg.ImageChunkBytes = 256 << 10
+	}
 	be, err := backend.New(backend.Config{
 		Clock:          cfg.Clock,
 		RetryAfter:     cfg.RetryAfter,
@@ -342,7 +395,6 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		pub:       cfg.Key.Public().(ed25519.PublicKey),
 		be:        be,
 		store:     store,
-		seq:       seq,
 		recovered: prevRec != nil,
 		nodes:     newNodeSet(),
 	}
@@ -358,11 +410,11 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	}
 
 	// Encode-once broadcast staging: banner, control file, and image
-	// are marshaled exactly once here, independent of how many
-	// sessions will replay them.
+	// (legacy and chunked forms) are marshaled exactly once here,
+	// independent of how many sessions will replay them.
 	bannerRaw, err := json.Marshal(&Banner{
 		ControllerKey: c.pub, Name: cfg.Name, TaskBin: true,
-		TraceCtx: cfg.Spans != nil, Trace: c.wakeupCtx,
+		TraceCtx: cfg.Spans != nil, Trace: c.wakeupCtx, DeltaImg: true,
 	})
 	if err != nil {
 		c.Close()
@@ -373,23 +425,12 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		return nil, err
 	}
 	c.encodeOps.Add(1)
-	bcast, err := AppendFrame(nil, FrameControl, ctrlFile)
+	st, err := c.newStage(nil, imgRaw, ctrlFile, seq, wakeups)
 	if err != nil {
 		c.Close()
 		return nil, err
 	}
-	c.encodeOps.Add(1)
-	imgJSON, err := json.Marshal(&ImageFile{Name: "image.1", Data: imgRaw})
-	if err != nil {
-		c.Close()
-		return nil, err
-	}
-	if bcast, err = AppendFrame(bcast, FrameImage, imgJSON); err != nil {
-		c.Close()
-		return nil, err
-	}
-	c.encodeOps.Add(1)
-	c.broadcast = bcast
+	c.stage.Store(st)
 	reply := control.EncodeHeartbeatReply(&control.HeartbeatReply{Command: control.CmdNone})
 	if c.hbReplyFrame, err = AppendFrame(nil, FrameHeartbeatReply, reply); err != nil {
 		c.Close()
@@ -398,6 +439,131 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 
 	c.instrument(cfg.Obs)
 	return c, nil
+}
+
+// newStage pre-encodes one broadcast generation. prev, when non-nil,
+// donates every chunk frame whose content hash is unchanged, so only
+// new content costs an encode — the per-chunk form of the encode-once
+// invariant that the image bench asserts stays flat in session count.
+func (c *Coordinator) newStage(prev *imageStage, imgRaw, ctrlFile []byte, seq, wakeups uint32) (*imageStage, error) {
+	st := &imageStage{
+		seq: seq, wakeups: wakeups, imgRaw: imgRaw,
+		chunkFrames: make(map[string][]byte),
+	}
+	if prev != nil {
+		st.epoch = prev.epoch + 1
+	}
+	var err error
+	if st.ctrlFrame, err = AppendFrame(nil, FrameControl, ctrlFile); err != nil {
+		return nil, err
+	}
+	c.encodeOps.Add(1)
+	imgJSON, err := json.Marshal(&ImageFile{Name: "image.1", Data: imgRaw})
+	if err != nil {
+		return nil, err
+	}
+	if st.imageFrame, err = AppendFrame(nil, FrameImage, imgJSON); err != nil {
+		return nil, err
+	}
+	c.encodeOps.Add(1)
+	chunks := splitChunks(imgRaw, c.cfg.ImageChunkBytes)
+	st.hashes = make([]string, len(chunks))
+	for i, ch := range chunks {
+		h := dsmcc.HashOf(ch).String()
+		st.hashes[i] = h
+		if _, ok := st.chunkFrames[h]; ok {
+			continue // duplicate content within the image
+		}
+		if prev != nil {
+			if f, ok := prev.chunkFrames[h]; ok {
+				st.chunkFrames[h] = f // unchanged: reused verbatim, no encode
+				continue
+			}
+		}
+		raw, err := json.Marshal(&ImageChunk{Hash: h, Data: ch})
+		if err != nil {
+			return nil, err
+		}
+		frame, err := AppendFrame(nil, FrameImageChunk, raw)
+		if err != nil {
+			return nil, err
+		}
+		st.chunkFrames[h] = frame
+		c.encodeOps.Add(1)
+	}
+	manRaw, err := json.Marshal(&ImageManifest{
+		Name: "image.1", Size: len(imgRaw),
+		ChunkBytes: c.cfg.ImageChunkBytes, Hashes: st.hashes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if st.manifestFrame, err = AppendFrame(nil, FrameImageManifest, manRaw); err != nil {
+		return nil, err
+	}
+	c.encodeOps.Add(1)
+	st.broadcast = append(append([]byte(nil), st.ctrlFrame...), st.imageFrame...)
+	return st, nil
+}
+
+// UpdateImage recomposes the staged application image mid-flight: the
+// wakeup re-signs under the next sequence, the legacy image frame and
+// manifest re-encode, and chunk frames re-encode only for changed
+// content. Delta sessions are re-staged at their next heartbeat with
+// just the chunks this session has not yet received; legacy sessions
+// keep their original image (their strict reply loop would reject
+// unsolicited mid-session frames) while new legacy joins receive the
+// updated full image.
+func (c *Coordinator) UpdateImage(img *appimage.Image) error {
+	if img == nil {
+		return errors.New("transport: UpdateImage needs an image")
+	}
+	imgRaw, err := img.Encode()
+	if err != nil {
+		return err
+	}
+	c.updateMu.Lock()
+	defer c.updateMu.Unlock()
+	prev := c.stage.Load()
+	seq, wakeups := prev.seq+1, prev.wakeups+1
+	ctrlFile, err := control.SignWakeup(&control.Wakeup{
+		InstanceID:      1,
+		Seq:             seq,
+		Probability:     c.cfg.Probability,
+		Requirements:    c.cfg.Requirements,
+		ImageFile:       "image.1",
+		ImageDigest:     appimage.DigestOf(imgRaw),
+		HeartbeatPeriod: c.cfg.HeartbeatPeriod,
+	}, c.cfg.Key)
+	if err != nil {
+		return err
+	}
+	st, err := c.newStage(prev, imgRaw, ctrlFile, seq, wakeups)
+	if err != nil {
+		return err
+	}
+	if c.store != nil {
+		// Same one-record snapshot the restart path writes: a coordinator
+		// restarted after the update resumes past this sequence with the
+		// updated image.
+		snap := journal.NewState()
+		snap.NextID = 2
+		snap.Instances[1] = &journal.InstanceRecord{
+			ID: 1, Seq: seq, Wakeups: wakeups,
+			Probability:     c.cfg.Probability,
+			Target:          1,
+			HeartbeatPeriod: c.cfg.HeartbeatPeriod,
+			Requirements:    c.cfg.Requirements,
+			ImageFile:       "image.1",
+			Image:           imgRaw,
+		}
+		snap.Order = []uint64{1}
+		if err := c.store.Compact(snap); err != nil {
+			return err
+		}
+	}
+	c.stage.Store(st)
+	return nil
 }
 
 // instrument registers coordinator telemetry and the heartbeat-silence
@@ -414,6 +580,8 @@ func (c *Coordinator) instrument(reg *obs.Registry) {
 		bytesIn:         reg.Counter("oddci_transport_bytes_in_total", "Frame bytes read from node sessions"),
 		bytesOut:        reg.Counter("oddci_transport_bytes_out_total", "Frame bytes written to node sessions"),
 		broadcastBytes:  reg.Counter("oddci_transport_broadcast_bytes_total", "Pre-encoded broadcast bytes staged to sessions"),
+		restages:        reg.Counter("oddci_transport_restages_total", "Mid-session image re-stagings pushed to delta sessions"),
+		restageBytes:    reg.Counter("oddci_transport_restage_bytes_total", "Bytes pushed by mid-session re-stagings (control + manifest + missing chunks only)"),
 		readLat:         reg.Histogram("oddci_transport_frame_read_seconds", "Frame payload drain latency after the header arrived", nil),
 		writeLat:        reg.Histogram("oddci_transport_frame_write_seconds", "Session write-flush latency", nil),
 	}
@@ -425,6 +593,9 @@ func (c *Coordinator) instrument(reg *obs.Registry) {
 	})
 	reg.GaugeFunc("oddci_transport_broadcast_encodes", "Broadcast artifacts encoded since start (flat in the session count)", func() float64 {
 		return float64(c.encodeOps.Load())
+	})
+	reg.GaugeFunc("oddci_transport_image_epoch", "Staged image generation (bumped by UpdateImage)", func() float64 {
+		return float64(c.stage.Load().epoch)
 	})
 	reg.GaugeFunc("oddci_transport_frame_pool_hits", "Frame buffer requests served within the pool size cap (process-wide)", func() float64 {
 		h, _ := FramePoolStats()
@@ -455,8 +626,16 @@ func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
 func (c *Coordinator) PublicKey() ed25519.PublicKey { return c.pub }
 
 // Seq returns the wakeup sequence on the wire (bumped past the recorded
-// one after a StateDir restart).
-func (c *Coordinator) Seq() uint32 { return c.seq }
+// one after a StateDir restart, and by each UpdateImage).
+func (c *Coordinator) Seq() uint32 { return c.stage.Load().seq }
+
+// ImageEpoch returns the staged image generation (zero at construction,
+// bumped by each UpdateImage).
+func (c *Coordinator) ImageEpoch() uint64 { return c.stage.Load().epoch }
+
+// StagedChunks returns how many distinct content-addressed chunk frames
+// the current stage holds.
+func (c *Coordinator) StagedChunks() int { return len(c.stage.Load().chunkFrames) }
 
 // Recovered reports whether this coordinator resumed from a StateDir
 // written by a previous run.
@@ -494,8 +673,8 @@ func (c *Coordinator) LastHeartbeat() time.Time {
 func (c *Coordinator) BroadcastEncodes() int64 { return c.encodeOps.Load() }
 
 // BroadcastBytes returns the size of the pre-encoded staged broadcast
-// (control + image frames) each joining session receives.
-func (c *Coordinator) BroadcastBytes() int { return len(c.broadcast) }
+// (control + image frames) each joining legacy session receives.
+func (c *Coordinator) BroadcastBytes() int { return len(c.stage.Load().broadcast) }
 
 // Submit enqueues a job and marks the backend draining so nodes go home
 // when it finishes.
@@ -622,12 +801,57 @@ func (c *Coordinator) session(conn net.Conn) {
 	sessSp.SetDetail("node=%d trace_ctx=%t", hello.NodeID, hello.TraceCtx)
 	defer sessSp.End()
 
-	if _, err := bw.Write(c.broadcast); err != nil {
-		return
+	// Staged broadcast push. Delta sessions receive the signed control,
+	// the manifest, and every chunk frame; legacy sessions receive the
+	// two-frame control+image push. Either way the per-session cost is a
+	// memcpy of immutable pre-encoded buffers.
+	deltaOK := hello.DeltaImg
+	st := c.stage.Load()
+	sessEpoch := st.epoch
+	var sentHashes map[string]bool
+	pushDelta := func(st *imageStage) (int, error) {
+		wrote, frames := 0, int64(0)
+		write := func(b []byte) error {
+			if _, err := bw.Write(b); err != nil {
+				return err
+			}
+			wrote += len(b)
+			frames++
+			return nil
+		}
+		err := write(st.ctrlFrame)
+		if err == nil {
+			err = write(st.manifestFrame)
+		}
+		for _, h := range st.hashes {
+			if err != nil {
+				break
+			}
+			if sentHashes[h] {
+				continue
+			}
+			if err = write(st.chunkFrames[h]); err == nil {
+				sentHashes[h] = true
+			}
+		}
+		c.met.framesOut.Add(frames)
+		c.met.bytesOut.Add(int64(wrote))
+		c.met.broadcastBytes.Add(int64(wrote))
+		return wrote, err
 	}
-	c.met.framesOut.Add(2)
-	c.met.bytesOut.Add(int64(len(c.broadcast)))
-	c.met.broadcastBytes.Add(int64(len(c.broadcast)))
+	if deltaOK {
+		sentHashes = make(map[string]bool, len(st.hashes))
+		if _, err := pushDelta(st); err != nil {
+			return
+		}
+	} else {
+		if _, err := bw.Write(st.broadcast); err != nil {
+			return
+		}
+		c.met.framesOut.Add(2)
+		c.met.bytesOut.Add(int64(len(st.broadcast)))
+		c.met.broadcastBytes.Add(int64(len(st.broadcast)))
+	}
 	if err := flush(); err != nil {
 		return
 	}
@@ -719,6 +943,22 @@ func (c *Coordinator) session(conn net.Conn) {
 			}
 			c.met.framesOut.Inc()
 			c.met.bytesOut.Add(int64(len(c.hbReplyFrame)))
+			// Heartbeats are the re-staging tick: a delta session whose
+			// stage is stale gets the new control + manifest + only the
+			// chunks it has never been sent. Legacy sessions are never
+			// re-staged mid-flight — their strict reply loop would choke
+			// on unsolicited frames.
+			if deltaOK {
+				if cur := c.stage.Load(); cur.epoch != sessEpoch {
+					wrote, err := pushDelta(cur)
+					if err != nil {
+						return
+					}
+					sessEpoch = cur.epoch
+					c.met.restages.Inc()
+					c.met.restageBytes.Add(int64(wrote))
+				}
+			}
 		case FrameTaskRequestBin:
 			c.met.framesInTaskReq.Inc()
 			if err := DecodeTaskRequest(payload, &binReq); err != nil {

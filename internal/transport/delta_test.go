@@ -1,0 +1,299 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"oddci/internal/appimage"
+	"oddci/internal/obs"
+)
+
+// chunkedImage builds an image whose payload is incompressible random
+// bytes, so every chunk carries a distinct content hash.
+func chunkedImage(t *testing.T, seed int64, payloadBytes int) *appimage.Image {
+	t.Helper()
+	p := make([]byte, payloadBytes)
+	rand.New(rand.NewSource(seed)).Read(p)
+	return &appimage.Image{Name: "net", Version: 1, EntryPoint: "w", Payload: p}
+}
+
+// TestDeltaJoinAssemblesChunkedImage: a delta-negotiated node must
+// assemble and verify the image from the manifest + chunk plane, and
+// the coordinator's encode counter must be exactly the per-artifact
+// count — independent of how many sessions joined.
+func TestDeltaJoinAssemblesChunkedImage(t *testing.T) {
+	img := chunkedImage(t, 1, 32<<10)
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Listen:          "127.0.0.1:0",
+		Image:           img,
+		ImageChunkBytes: 4 << 10,
+		HeartbeatPeriod: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	go coord.Serve()
+	raw, err := img.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantChunks := (len(raw) + (4 << 10) - 1) / (4 << 10)
+	if coord.StagedChunks() != wantChunks {
+		t.Fatalf("staged chunks = %d, want %d", coord.StagedChunks(), wantChunks)
+	}
+	// banner + control + legacy image + manifest + the chunk frames.
+	wantEncodes := int64(4 + wantChunks)
+	if got := coord.BroadcastEncodes(); got != wantEncodes {
+		t.Fatalf("encodes after staging = %d, want %d", got, wantEncodes)
+	}
+
+	h, err := coord.Submit(testJob(t, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nodes = 4
+	var wg sync.WaitGroup
+	reports := make([]NodeReport, nodes)
+	errs := make([]error, nodes)
+	for i := 0; i < nodes; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			reports[i], errs[i] = RunNode(NodeConfig{
+				Addr: coord.Addr(), NodeID: uint64(i + 1),
+				TimeScale: 200, Seed: 5, PinnedKey: coord.PublicKey(),
+			})
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < nodes; i++ {
+		if errs[i] != nil {
+			t.Fatalf("node %d: %v", i+1, errs[i])
+		}
+		if !reports[i].Joined || !reports[i].DeltaImage {
+			t.Fatalf("node %d report %+v, want joined over the delta plane", i+1, reports[i])
+		}
+	}
+	if _, done := h.Done(); !done {
+		t.Fatal("job incomplete")
+	}
+	// Serving 4 delta sessions must not have encoded anything new.
+	if got := coord.BroadcastEncodes(); got != wantEncodes {
+		t.Fatalf("encodes after %d sessions = %d, want %d (flat in session count)", nodes, got, wantEncodes)
+	}
+}
+
+// TestUpdateImageRestagesOnlyChangedChunks: a mid-flight UpdateImage
+// re-encodes only the changed chunk frames (plus the three per-update
+// artifacts: control, legacy image, manifest), and a connected delta
+// node picks the new image up at its next heartbeat, re-verifying the
+// digest from its retained chunks plus the pushed delta.
+func TestUpdateImageRestagesOnlyChangedChunks(t *testing.T) {
+	img := chunkedImage(t, 2, 32<<10)
+	reg := obs.NewRegistry()
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Listen:          "127.0.0.1:0",
+		Image:           img,
+		ImageChunkBytes: 4 << 10,
+		HeartbeatPeriod: 5 * time.Second, // 25 ms at TimeScale 200
+		Obs:             reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	go coord.Serve()
+
+	h, err := coord.Submit(testJob(t, 32)) // ~10 ms per task: ample update window
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report NodeReport
+	var nodeErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		report, nodeErr = RunNode(NodeConfig{
+			Addr: coord.Addr(), NodeID: 1,
+			TimeScale: 200, Seed: 7, PinnedKey: coord.PublicKey(),
+		})
+	}()
+
+	// Flip bytes inside exactly one 4 KiB chunk while the node works.
+	time.Sleep(50 * time.Millisecond)
+	before := coord.BroadcastEncodes()
+	img2 := chunkedImage(t, 2, 32<<10)
+	for i := 9000; i < 9100; i++ {
+		img2.Payload[i] ^= 0xFF
+	}
+	if err := coord.UpdateImage(img2); err != nil {
+		t.Fatalf("UpdateImage: %v", err)
+	}
+	// control + legacy image + manifest + exactly one changed chunk.
+	if got := coord.BroadcastEncodes() - before; got != 4 {
+		t.Fatalf("UpdateImage cost %d encodes, want 4 (3 artifacts + 1 changed chunk)", got)
+	}
+	if coord.ImageEpoch() != 1 {
+		t.Fatalf("image epoch = %d, want 1", coord.ImageEpoch())
+	}
+	if coord.Seq() != 2 {
+		t.Fatalf("seq after update = %d, want 2", coord.Seq())
+	}
+
+	<-done
+	if nodeErr != nil {
+		t.Fatal(nodeErr)
+	}
+	if _, ok := h.Done(); !ok {
+		t.Fatal("job incomplete")
+	}
+	if report.Restages != 1 {
+		t.Fatalf("node restages = %d, want 1 (one mid-session image update)", report.Restages)
+	}
+	if v, _ := reg.Value("oddci_transport_restages_total"); v != 1 {
+		t.Fatalf("restage counter = %v, want 1", v)
+	}
+	// The restage push carried the control + manifest + ONE chunk frame,
+	// not the whole image.
+	restageBytes, _ := reg.Value("oddci_transport_restage_bytes_total")
+	if restageBytes <= 0 || restageBytes >= float64(coord.BroadcastBytes()) {
+		t.Fatalf("restage bytes = %v, want positive and well under the full broadcast (%d)", restageBytes, coord.BroadcastBytes())
+	}
+}
+
+// TestMixedVersionImageInterop: a pre-delta node (ForceFullImage) keeps
+// its exact legacy wire behaviour against a delta coordinator — one
+// FrameImage at join, no mid-session frames even when the image updates
+// under it.
+func TestMixedVersionImageInterop(t *testing.T) {
+	img := chunkedImage(t, 3, 32<<10)
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Listen:          "127.0.0.1:0",
+		Image:           img,
+		ImageChunkBytes: 4 << 10,
+		HeartbeatPeriod: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	go coord.Serve()
+
+	h, err := coord.Submit(testJob(t, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report NodeReport
+	var nodeErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		report, nodeErr = RunNode(NodeConfig{
+			Addr: coord.Addr(), NodeID: 1,
+			TimeScale: 200, Seed: 11, PinnedKey: coord.PublicKey(),
+			ForceFullImage: true,
+		})
+	}()
+	time.Sleep(40 * time.Millisecond)
+	img2 := chunkedImage(t, 4, 32<<10)
+	if err := coord.UpdateImage(img2); err != nil {
+		t.Fatalf("UpdateImage: %v", err)
+	}
+	<-done
+	if nodeErr != nil {
+		t.Fatal(nodeErr)
+	}
+	if _, ok := h.Done(); !ok {
+		t.Fatal("job incomplete")
+	}
+	if report.DeltaImage || report.Restages != 0 {
+		t.Fatalf("legacy node report %+v, want no delta plane and no restages", report)
+	}
+	if !report.Joined || report.TasksDone != 16 {
+		t.Fatalf("legacy node report %+v, want 16 tasks done", report)
+	}
+
+	// A late legacy join sees the updated full image.
+	if _, err := coord.Submit(testJob(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := RunNode(NodeConfig{
+		Addr: coord.Addr(), NodeID: 2,
+		TimeScale: 200, Seed: 12, PinnedKey: coord.PublicKey(),
+		ForceFullImage: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.Joined {
+		t.Fatal("legacy node failed to join after UpdateImage")
+	}
+}
+
+// TestUpdateImagePersistsAcrossRestart: the journal snapshot written by
+// UpdateImage must carry the bumped sequence, so a restarted
+// coordinator resumes past it.
+func TestUpdateImagePersistsAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := NewCoordinator(CoordinatorConfig{
+		Listen: "127.0.0.1:0", Image: chunkedImage(t, 5, 16<<10), StateDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.UpdateImage(chunkedImage(t, 6, 16<<10)); err != nil {
+		t.Fatal(err)
+	}
+	if c1.Seq() != 2 {
+		t.Fatalf("seq after update = %d, want 2", c1.Seq())
+	}
+	c1.Close()
+
+	c2, err := NewCoordinator(CoordinatorConfig{
+		Listen: "127.0.0.1:0", Image: chunkedImage(t, 6, 16<<10), StateDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if c2.Seq() != 3 {
+		t.Fatalf("restarted seq = %d, want 3 (bumped past the update's recorded wakeup)", c2.Seq())
+	}
+}
+
+// TestChunkDedupWithinImage: an image whose chunks are content-identical
+// stages (and ships) exactly one chunk frame, and a delta node still
+// assembles the full image from the single held chunk.
+func TestChunkDedupWithinImage(t *testing.T) {
+	img := testImage() // 32 KiB zero payload: every 4 KiB chunk identical
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Listen:          "127.0.0.1:0",
+		Image:           img,
+		ImageChunkBytes: 4 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	go coord.Serve()
+	if coord.StagedChunks() >= 8 {
+		t.Fatalf("staged %d chunk frames for a self-similar image, want deduplicated (<8)", coord.StagedChunks())
+	}
+	if _, err := coord.Submit(testJob(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunNode(NodeConfig{
+		Addr: coord.Addr(), NodeID: 1,
+		TimeScale: 200, Seed: 13, PinnedKey: coord.PublicKey(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Joined || !rep.DeltaImage {
+		t.Fatalf("report %+v, want delta join from deduplicated chunks", rep)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"oddci/internal/appimage"
 	"oddci/internal/control"
 	"oddci/internal/core/instance"
+	"oddci/internal/dsmcc"
 	"oddci/internal/simtime"
 	"oddci/internal/span"
 	"oddci/internal/stb"
@@ -53,6 +54,10 @@ type NodeConfig struct {
 	// credential echo — the pre-credential node's exact wire behavior,
 	// used by the mixed-version interop tests.
 	OmitCredential bool
+	// ForceFullImage suppresses the hello's delta_img advertisement so
+	// the image arrives as one legacy FrameImage — the pre-delta node's
+	// exact wire behavior, used by the mixed-version interop tests.
+	ForceFullImage bool
 	// Spans, if set, records this agent's join/image-load/execute spans
 	// and advertises trace_ctx in the hello so the coordinator sends
 	// dispatch contexts back. A nil collector is the untraced-peer
@@ -67,6 +72,12 @@ type NodeReport struct {
 	Heartbeats int
 	// BinaryTaskPlane reports whether the binary codec was negotiated.
 	BinaryTaskPlane bool
+	// DeltaImage reports whether the content-addressed image plane was
+	// negotiated.
+	DeltaImage bool
+	// Restages counts mid-session image updates this node assembled and
+	// verified from pushed delta chunks.
+	Restages int
 }
 
 // RunNode connects, obeys the broadcast control plane, executes tasks
@@ -115,6 +126,11 @@ func RunNode(cfg NodeConfig) (report NodeReport, err error) {
 	bin := banner.TaskBin && !cfg.ForceJSON
 	report.BinaryTaskPlane = bin
 	traceOK := banner.TraceCtx && cfg.Spans != nil
+	// The content-addressed image plane flows the same way: both sides
+	// must advertise before manifest/chunk frames replace the single
+	// FrameImage push.
+	deltaOK := banner.DeltaImg && !cfg.ForceFullImage
+	report.DeltaImage = deltaOK
 	nodeName := fmt.Sprintf("node-%d", cfg.NodeID)
 	// The join span parents under the coordinator's wakeup broadcast
 	// (its context rides in the banner), covering control verification
@@ -156,13 +172,50 @@ func RunNode(cfg NodeConfig) (report NodeReport, err error) {
 		NodeID: cfg.NodeID, Class: uint8(cfg.Profile.Class),
 		MemMB: cfg.Profile.MemMB, CPUScore: cfg.Profile.CPUScore,
 		TraceCtx: cfg.Spans != nil, Cred: !cfg.OmitCredential,
+		DeltaImg: deltaOK,
 	}); err != nil {
 		return report, err
 	}
 
 	// Acquire the wakeup and its image from the pushed "broadcast".
+	// On the delta plane the image arrives as a manifest plus
+	// hash-addressed chunks; chunks persist across re-stagings, so a
+	// mid-session update only ships content this node has never held.
 	var wakeup *control.Wakeup
 	var img *appimage.Image
+	var manifest *ImageManifest
+	chunks := make(map[string][]byte)
+	// tryAssemble concatenates the manifest's chunks when all are held
+	// and verifies the result against the current wakeup digest. It
+	// returns (nil, nil) while incomplete.
+	tryAssemble := func() (*appimage.Image, error) {
+		if wakeup == nil || manifest == nil || manifest.Name != wakeup.ImageFile {
+			return nil, nil
+		}
+		buf := make([]byte, 0, manifest.Size)
+		for _, h := range manifest.Hashes {
+			ch, ok := chunks[h]
+			if !ok {
+				return nil, nil
+			}
+			buf = append(buf, ch...)
+		}
+		if len(buf) != manifest.Size {
+			return nil, fmt.Errorf("transport: assembled image is %d bytes, manifest says %d", len(buf), manifest.Size)
+		}
+		return appimage.Verify(buf, wakeup.ImageDigest)
+	}
+	storeChunk := func(payload []byte) error {
+		var ch ImageChunk
+		if err := jsonUnmarshal(payload, &ch); err != nil {
+			return err
+		}
+		if got := dsmcc.HashOf(ch.Data).String(); got != ch.Hash {
+			return fmt.Errorf("transport: image chunk hashes to %s, declared %s", got, ch.Hash)
+		}
+		chunks[ch.Hash] = ch.Data
+		return nil
+	}
 	for img == nil {
 		t, payload, err := fr.Next()
 		if err != nil {
@@ -208,8 +261,32 @@ func RunNode(cfg NodeConfig) (report NodeReport, err error) {
 			imgSp.SetDetail("bytes=%d file=%s", len(f.Data), f.Name)
 			imgSp.End()
 			img = verified
+		case FrameImageManifest:
+			var m ImageManifest
+			if err := jsonUnmarshal(payload, &m); err != nil {
+				return report, err
+			}
+			manifest = &m
+		case FrameImageChunk:
+			if err := storeChunk(payload); err != nil {
+				joinSp.SetError()
+				return report, err
+			}
 		default:
 			// Task frames cannot arrive before we ask for work.
+		}
+		if img == nil && deltaOK && manifest != nil {
+			verified, err := tryAssemble()
+			if err != nil {
+				joinSp.SetError()
+				return report, fmt.Errorf("transport: image rejected: %w", err)
+			}
+			if verified != nil {
+				imgSp := cfg.Spans.Start(joinSp.Context(), "image-load", nodeName)
+				imgSp.SetDetail("bytes=%d chunks=%d file=%s", manifest.Size, len(manifest.Hashes), manifest.Name)
+				imgSp.End()
+				img = verified
+			}
 		}
 	}
 	report.Joined = true
@@ -223,9 +300,14 @@ func RunNode(cfg NodeConfig) (report NodeReport, err error) {
 	stopHB := make(chan struct{})
 	var hbWG sync.WaitGroup
 	hbWG.Add(1)
+	// Snapshot the session constants: a mid-flight re-stage swaps the
+	// wakeup pointer under the worker loop, but the instance identity
+	// and heartbeat cadence are fixed for the connection's lifetime.
+	hbInstance := wakeup.InstanceID
+	hbPeriod := wakeup.HeartbeatPeriod
 	go func() {
 		defer hbWG.Done()
-		period := wakeup.HeartbeatPeriod
+		period := hbPeriod
 		if period <= 0 {
 			period = 10 * time.Second
 		}
@@ -239,7 +321,7 @@ func RunNode(cfg NodeConfig) (report NodeReport, err error) {
 			case <-tick.C:
 				hb := &control.Heartbeat{
 					NodeID: cfg.NodeID, State: control.StateBusy,
-					InstanceID: wakeup.InstanceID, Profile: cfg.Profile,
+					InstanceID: hbInstance, Profile: cfg.Profile,
 					SentAt: cfg.Clock.Now(),
 				}
 				if err := send(FrameHeartbeat, control.EncodeHeartbeat(hb)); err != nil {
@@ -257,17 +339,58 @@ func RunNode(cfg NodeConfig) (report NodeReport, err error) {
 
 	// Worker loop: pull → execute (scaled by the device model) → push.
 	// Heartbeat replies interleave with task replies on the same
-	// connection, so reads skip them.
+	// connection, so reads skip them. On delta sessions, re-staging
+	// frames (a fresh signed control, manifest, and only never-held
+	// chunks) also interleave here: the node folds them into its chunk
+	// store and re-verifies the image when the set completes.
+	lastDigest := wakeup.ImageDigest
 	readTaskReply := func() (FrameType, []byte, error) {
 		for {
 			t, payload, err := fr.Next()
 			if err != nil {
 				return 0, nil, err
 			}
-			if t == FrameHeartbeatReply {
+			switch t {
+			case FrameHeartbeatReply:
 				continue
+			case FrameControl:
+				// A re-staged wakeup: adopt its digest; assembly waits for
+				// the manifest that describes the new content.
+				msgs, err := control.OpenAll(payload, key)
+				if err != nil {
+					return 0, nil, fmt.Errorf("transport: re-staged control rejected: %w", err)
+				}
+				for _, m := range msgs {
+					if w, ok := m.(*control.Wakeup); ok {
+						wakeup = w
+					}
+				}
+				continue
+			case FrameImageManifest:
+				var m ImageManifest
+				if err := jsonUnmarshal(payload, &m); err != nil {
+					return 0, nil, err
+				}
+				manifest = &m
+			case FrameImageChunk:
+				if err := storeChunk(payload); err != nil {
+					return 0, nil, err
+				}
+			default:
+				return t, payload, nil
 			}
-			return t, payload, nil
+			if wakeup.ImageDigest == lastDigest {
+				continue // no new image generation yet
+			}
+			verified, err := tryAssemble()
+			if err != nil {
+				return 0, nil, fmt.Errorf("transport: re-staged image rejected: %w", err)
+			}
+			if verified != nil {
+				img = verified
+				lastDigest = wakeup.ImageDigest
+				report.Restages++
+			}
 		}
 	}
 	// On the binary plane the request frame is identical every round:

@@ -73,6 +73,14 @@ const (
 	FrameTaskAssignBin  FrameType = 12
 	FrameNoTaskBin      FrameType = 13
 	FrameTaskResultBin  FrameType = 14
+	// FrameImageManifest and FrameImageChunk carry the content-addressed
+	// image plane: the manifest names the image and lists its chunk
+	// hashes in order; each chunk frame carries one hash-addressed slice
+	// of the encoded image. They flow only on sessions whose hello
+	// advertised delta_img, so pre-delta nodes keep seeing exactly one
+	// FrameImage.
+	FrameImageManifest FrameType = 15
+	FrameImageChunk    FrameType = 16
 )
 
 // MaxFrame bounds a frame's payload (images dominate).
@@ -93,6 +101,10 @@ type Hello struct {
 	// pre-credential node never sees the new bytes; whether its missing
 	// echoes are tolerated is the coordinator's CredentialMode policy.
 	Cred bool `json:"cred,omitempty"`
+	// DeltaImg advertises that this node assembles images from the
+	// content-addressed manifest + chunk plane and accepts mid-session
+	// re-staging. Old nodes omit it and receive the single FrameImage.
+	DeltaImg bool `json:"delta_img,omitempty"`
 }
 
 // Banner introduces the coordinator.
@@ -114,11 +126,36 @@ type Banner struct {
 	// the pre-encoded banner stays encode-once; old nodes parse it as
 	// an unknown string field and ignore it.
 	Trace span.Context `json:"trace,omitempty"`
+	// DeltaImg advertises the content-addressed image plane, negotiated
+	// like TaskBin: the node only hears manifest/chunk frames after its
+	// hello echoed the capability back.
+	DeltaImg bool `json:"delta_img,omitempty"`
 }
 
 // ImageFile is one carousel file pushed to nodes.
 type ImageFile struct {
 	Name string `json:"name"`
+	Data []byte `json:"data"`
+}
+
+// ImageManifest describes one content-addressed image: the chunk
+// hashes, in concatenation order, whose payloads reassemble the encoded
+// image. Hashes are the dsmcc module-hash rendering (16 hex digits of
+// truncated SHA-256), so the TCP plane and the carousel plane address
+// content identically.
+type ImageManifest struct {
+	Name string `json:"name"`
+	// Size is the assembled image's byte length.
+	Size int `json:"size"`
+	// ChunkBytes is the split size every chunk but the last uses.
+	ChunkBytes int `json:"chunk_bytes"`
+	// Hashes lists the chunks in assembly order.
+	Hashes []string `json:"hashes"`
+}
+
+// ImageChunk is one hash-addressed slice of an encoded image.
+type ImageChunk struct {
+	Hash string `json:"hash"`
 	Data []byte `json:"data"`
 }
 
