@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check fmt vet test race build cover bench-transport bench-fleet bench-obs bench-adversary bench-image
+.PHONY: check fmt vet test race build cover bench-transport bench-fleet bench-obs bench-adversary bench-image bench-federation
 
 ## check: the full tier-1 gate — formatting, vet, build, tests with the
-## race detector (the lifecycle churn stress must pass under -race),
-## and the coverage floor on the telemetry packages.
+## race detector (the lifecycle churn stress and the federation
+## cross-shard churn stress must pass under -race), and the coverage
+## floor on the telemetry packages.
 check: fmt vet race cover
 
 fmt:
@@ -28,13 +29,15 @@ race:
 ## cover: enforce per-package coverage floors — the observability layer
 ## (obs registry/exposition, trace recorder), the Controller (lifecycle
 ## plus crash recovery), the journal persistence layer, the Backend
-## scheduler (dispatch, lease reclaim, draining), the transport fast
-## path (framing, binary codec, coordinator/node loops), and the fleet
+## scheduler (dispatch, lease reclaim, draining), the Provider facade
+## (capacity splitting, multi-part instances, rebind), the transport
+## fast path (framing, binary codec, coordinator/node loops), the fleet
 ## simulation harness (SoA engine, timing wheel integration, analytic
-## cross-validation), the netsim layer (links, faults, and the
-## byzantine adversary plan), and the DSM-CC carousel codec (hashes,
-## delta cycles, chunk cache, receiver interop).
-COVER_PKGS ?= ./internal/obs:85 ./internal/trace:85 ./internal/span:80 ./internal/core/controller:85 ./internal/journal:78 ./internal/core/backend:82 ./internal/transport:75 ./internal/fleet:75 ./internal/netsim:85 ./internal/dsmcc:80
+## cross-validation), the federation layer (consistent-hash ring,
+## cross-shard rebalancing, journal failover), the netsim layer (links,
+## faults, and the byzantine adversary plan), and the DSM-CC carousel
+## codec (hashes, delta cycles, chunk cache, receiver interop).
+COVER_PKGS ?= ./internal/obs:85 ./internal/trace:85 ./internal/span:80 ./internal/core/controller:85 ./internal/journal:78 ./internal/core/backend:82 ./internal/core/provider:80 ./internal/transport:75 ./internal/fleet:75 ./internal/federation:75 ./internal/netsim:85 ./internal/dsmcc:80
 cover:
 	@for entry in $(COVER_PKGS); do \
 		pkg="$${entry%%:*}"; floor="$${entry##*:}"; \
@@ -82,3 +85,12 @@ bench-adversary:
 ## loss), and transport staging encodes must be flat in session count.
 bench-image:
 	$(GO) run ./cmd/oddci-bench -sweep image -out BENCH_image.json
+
+## bench-federation: regenerate the sharded control plane gate
+## (BENCH_federation.json) — convergence at 1→16 coordinator shards must
+## stay within 1.15x the single-shard baseline, a killed shard must
+## journal-fail-over and reconverge with zero duplicate wakeups (also
+## re-run at 10^6 PNAs in the SoA engine), and the shared chunk cache
+## must hit on every shard after the first.
+bench-federation:
+	$(GO) run ./cmd/oddci-bench -sweep federation -out BENCH_federation.json

@@ -52,6 +52,17 @@
 // chunk:
 //
 //	oddci-bench -sweep image -out BENCH_image.json
+//
+// The federation sweep gates the sharded control plane: convergence
+// latency at 1→16 consistent-hash coordinator shards (fixed per-shard
+// population) must stay within 1.15× the single-shard baseline; a
+// kill-one-shard run must fail over from its journal and reconverge
+// with zero duplicate wakeups; the SoA fleet engine re-runs the claim
+// at 10⁶ PNAs with a mid-ramp kill/recover; and four shard carousels
+// airing one image through a shared chunk cache must hit on every
+// shard after the first:
+//
+//	oddci-bench -sweep federation -out BENCH_federation.json
 package main
 
 import (
@@ -71,7 +82,7 @@ import (
 
 func main() {
 	var (
-		sweep = flag.String("sweep", "fig6", "one of fig6, fig7, table1, churn, backend, transport, fleet, obs, adversary, image")
+		sweep = flag.String("sweep", "fig6", "one of fig6, fig7, table1, churn, backend, transport, fleet, obs, adversary, image, federation")
 		seed  = flag.Int64("seed", 2009, "random seed")
 		nodes = flag.Int("nodes", 200, "DES population for validated sweeps")
 		out   = flag.String("out", "", "output file for the backend/transport sweeps' JSON gate (default BENCH_<sweep>.json)")
@@ -118,6 +129,11 @@ func main() {
 			*out = "BENCH_image.json"
 		}
 		err = sweepImage(w, *seed, *out)
+	case "federation":
+		if *out == "" {
+			*out = "BENCH_federation.json"
+		}
+		err = sweepFederation(w, *seed, *out)
 	default:
 		err = fmt.Errorf("unknown sweep %q", *sweep)
 	}

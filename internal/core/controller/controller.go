@@ -93,6 +93,12 @@ type Config struct {
 	// OnWakeup, if set, observes every wakeup broadcast (initial and
 	// recompositions) — the tracing hook.
 	OnWakeup func(id instance.ID, seq uint32, probability float64)
+	// OnImageUpdate, if set, observes Recompose image replacements after
+	// they commit — the hook that lets a TCP coordinator ride the same
+	// update onto its delta_img plane (Coordinator.UpdateImage). Like
+	// OnWakeup it runs with the Controller lock held and must not call
+	// back into the Controller.
+	OnImageUpdate func(id instance.ID, img *appimage.Image)
 	// OnLifecycle, if set, observes instance lifecycle transitions and
 	// head-end refresh retries. Like OnWakeup it runs with Controller
 	// locks held and must not call back into the Controller.
@@ -383,6 +389,7 @@ type ctrlMetrics struct {
 	maintainTicks *obs.Counter
 	recoveredInst *obs.Counter
 	imageEncodes  *obs.Counter
+	imageUpdates  *obs.Counter
 }
 
 // instrument creates metric handles and registers the gauge functions
@@ -406,6 +413,7 @@ func (c *Controller) instrument(reg *obs.Registry) {
 		maintainTicks: reg.Counter("oddci_controller_maintenance_passes_total", "Maintenance loop passes"),
 		recoveredInst: reg.Counter("oddci_controller_instances_recovered_total", "Instances recovered from snapshot+journal at startup"),
 		imageEncodes:  reg.Counter("oddci_controller_image_encodes_total", "Image serializations performed (once per instance create, flat in refresh count)"),
+		imageUpdates:  reg.Counter("oddci_controller_image_updates_total", "Live-instance image replacements (Recompose)"),
 	}
 	if reg == nil {
 		return
@@ -1065,6 +1073,65 @@ func (c *Controller) Resize(id instance.ID, target int) error {
 		ID:     uint64(id),
 		Target: int32(target),
 	}})
+	return nil
+}
+
+// Recompose replaces a live instance's application image in place. The
+// new image is encoded once, the wakeup envelope re-airs at seq+1 with
+// the new digest and probability zero — members ride the carousel (or,
+// via Config.OnImageUpdate, the TCP coordinator's delta_img plane) to
+// the new content, while idle nodes never roll against the bump — and
+// the journal records the replacement so a recovered Controller
+// re-enters the carousel with the new image. Like DestroyInstance the
+// mutation commits even when the head-end update fails; the refresh
+// retries with backoff.
+func (c *Controller) Recompose(id instance.ID, img *appimage.Image) error {
+	if img == nil {
+		return errors.New("controller: recompose needs an image")
+	}
+	imageRaw, err := img.Encode()
+	if err != nil {
+		return fmt.Errorf("controller: image: %w", err)
+	}
+	digest := appimage.DigestOf(imageRaw)
+	c.met.imageEncodes.Inc()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.started {
+		return errors.New("controller: not started")
+	}
+	st, err := c.lookupLocked(id)
+	if err != nil {
+		return err
+	}
+	if st.destroyed {
+		return fmt.Errorf("%w: %d", ErrInstanceGone, id)
+	}
+	st.spec.Image = img
+	st.imageRaw = imageRaw
+	st.imageDigest = digest
+	st.seq++
+	st.wakeups++
+	w := *st.lastWakeup
+	w.Seq = st.seq
+	w.Probability = 0 // content update, not a recruitment round
+	w.ImageDigest = digest
+	st.lastWakeup = &w
+	c.journalAppendLocked(journal.Record{Op: journal.OpRecompose, Inst: journal.InstanceRecord{
+		ID:      uint64(id),
+		Seq:     st.seq,
+		Wakeups: uint32(st.wakeups),
+		Image:   imageRaw,
+	}})
+	c.met.imageUpdates.Inc()
+	c.met.wakeups.Inc()
+	c.emitLocked(LifecycleEvent{Kind: LifecycleRecomposed, Instance: id, Seq: st.seq})
+	c.wakeupSpanLocked(st, 0)
+	c.requestRefreshLocked()
+	if c.cfg.OnImageUpdate != nil {
+		c.cfg.OnImageUpdate(id, img)
+	}
 	return nil
 }
 

@@ -1,0 +1,125 @@
+package controller
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"oddci/internal/appimage"
+	"oddci/internal/core/instance"
+)
+
+// Recompose replaces an instance's image in place: busy members keep
+// working (carried by the OnImageUpdate hook downstream), idle nodes
+// never roll against the bump (probability 0), and the sequence
+// advances so receivers re-evaluate.
+func TestRecomposeSemantics(t *testing.T) {
+	var hook []struct {
+		id  instance.ID
+		img *appimage.Image
+	}
+	type wake struct {
+		seq  uint32
+		prob float64
+	}
+	var wakes []wake
+	r := newRigWith(t, nil, func(cfg *Config) {
+		cfg.OnImageUpdate = func(id instance.ID, img *appimage.Image) {
+			hook = append(hook, struct {
+				id  instance.ID
+				img *appimage.Image
+			}{id, img})
+		}
+		cfg.OnWakeup = func(_ instance.ID, seq uint32, prob float64) {
+			wakes = append(wakes, wake{seq, prob})
+		}
+	})
+	defer r.ctrl.Stop()
+
+	for n := uint64(1); n <= 8; n++ {
+		r.heartbeatIdle(n)
+	}
+	id, err := r.ctrl.CreateInstance(InstanceSpec{
+		Image: testImage(t), Target: 4, InitialProbability: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.advance(time.Second)
+	for n := uint64(1); n <= 4; n++ {
+		r.heartbeatBusy(n, id)
+	}
+
+	if err := r.ctrl.Recompose(id, nil); err == nil {
+		t.Fatal("nil image accepted")
+	}
+	if err := r.ctrl.Recompose(99, testImage(t)); err == nil {
+		t.Fatal("unknown instance accepted")
+	}
+
+	img2 := testImage(t)
+	img2.Version = 2
+	img2.Payload[0] ^= 0xFF
+	if err := r.ctrl.Recompose(id, img2); err != nil {
+		t.Fatal(err)
+	}
+	if len(hook) != 1 || hook[0].id != id || hook[0].img != img2 {
+		t.Fatalf("OnImageUpdate saw %+v, want one call for instance %d", hook, id)
+	}
+	st, err := r.ctrl.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Wakeups != 2 {
+		t.Fatalf("wakeups = %d, want 2 (create + recompose)", st.Wakeups)
+	}
+	// Busy members survive the recomposition: no reset was issued.
+	if st.Busy != 4 || st.Resets != 0 {
+		t.Fatalf("busy=%d resets=%d after recompose, want 4/0", st.Busy, st.Resets)
+	}
+	// A recomposition is a content update, not a recruitment round: the
+	// OnWakeup recruitment hook fires only for the original create —
+	// downstream wakeup accounting (the federation's duplicate-wakeup
+	// gate) never sees recompositions.
+	if len(wakes) != 1 {
+		t.Fatalf("observed %d recruitment wakeups, want the create only", len(wakes))
+	}
+	if wakes[0].seq != 1 || wakes[0].prob != 1 {
+		t.Fatalf("create wakeup seq=%d prob=%v, want 1/1", wakes[0].seq, wakes[0].prob)
+	}
+
+	// A destroyed instance refuses recomposition.
+	if err := r.ctrl.DestroyInstance(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ctrl.Recompose(id, img2); !errors.Is(err, ErrInstanceGone) {
+		t.Fatalf("recompose after destroy: %v, want ErrInstanceGone", err)
+	}
+}
+
+func TestRecomposeRequiresStarted(t *testing.T) {
+	r := newRigWith(t, nil, nil)
+	r.ctrl.Stop()
+	r.clk.Wait()
+	if err := r.ctrl.Recompose(1, testImage(t)); err == nil {
+		t.Fatal("stopped controller accepted recompose")
+	}
+}
+
+func TestLifecycleKindString(t *testing.T) {
+	for k, want := range map[LifecycleKind]string{
+		LifecycleCreated:      "created",
+		LifecycleRecomposed:   "recomposed",
+		LifecycleTrimmed:      "trimmed",
+		LifecycleDestroyed:    "destroyed",
+		LifecycleGCed:         "gc",
+		LifecycleRefreshRetry: "refresh-retry",
+	} {
+		if got := k.String(); got != want {
+			t.Fatalf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+	if got := LifecycleKind(250).String(); got == "" {
+		t.Fatal("unknown kind stringifies empty")
+	}
+}

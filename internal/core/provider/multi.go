@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"oddci/internal/appimage"
 	"oddci/internal/core/controller"
 	"oddci/internal/core/instance"
 )
@@ -39,55 +40,8 @@ type MultiInstance struct {
 	destroyed bool
 }
 
-// split apportions target across networks proportionally to their
-// eligible idle populations (largest-remainder), guaranteeing the total
-// is exact. Networks with zero idle population share the remainder
-// evenly only if every network is empty.
-func split(target int, weights []int) []int {
-	n := len(weights)
-	out := make([]int, n)
-	total := 0
-	for _, w := range weights {
-		total += w
-	}
-	if total == 0 {
-		// No information: spread evenly.
-		for i := range out {
-			out[i] = target / n
-		}
-		for i := 0; i < target%n; i++ {
-			out[i]++
-		}
-		return out
-	}
-	assigned := 0
-	type rem struct {
-		idx  int
-		frac float64
-	}
-	rems := make([]rem, n)
-	for i, w := range weights {
-		exact := float64(target) * float64(w) / float64(total)
-		out[i] = int(exact)
-		assigned += out[i]
-		rems[i] = rem{i, exact - float64(out[i])}
-	}
-	// Largest remainders take the leftover units.
-	for assigned < target {
-		best := -1
-		for i, r := range rems {
-			if best == -1 || r.frac > rems[best].frac {
-				best = i
-			}
-		}
-		out[rems[best].idx]++
-		rems[best].frac = -1
-		assigned++
-	}
-	return out
-}
-
-// Create provisions one logical instance across the networks.
+// Create provisions one logical instance across the networks, splitting
+// the target by eligible idle populations through Split.
 func (m *Multi) Create(spec controller.InstanceSpec) (*MultiInstance, error) {
 	if spec.Target <= 0 {
 		return nil, errors.New("provider: target must be positive")
@@ -100,7 +54,7 @@ func (m *Multi) Create(spec controller.InstanceSpec) (*MultiInstance, error) {
 		idle, _ := c.Population()
 		weights[i] = idle
 	}
-	shares := split(spec.Target, weights)
+	shares := Split(spec.Target, weights)
 
 	inst := &MultiInstance{m: m, parts: make([]instance.ID, len(m.networks))}
 	created := 0
@@ -172,7 +126,7 @@ func (mi *MultiInstance) Resize(target int) error {
 			}
 		}
 	}
-	shares := split(target, weights)
+	shares := Split(target, weights)
 	for i, share := range shares {
 		if mi.parts[i] == 0 {
 			if share > 0 {
@@ -198,6 +152,28 @@ func (mi *MultiInstance) Resize(target int) error {
 		}
 	}
 	return nil
+}
+
+// Recompose replaces the application image on every participating
+// network. The first failure is returned after all parts were attempted,
+// so a flaky network does not strand the rest on the old content.
+func (mi *MultiInstance) Recompose(img *appimage.Image) error {
+	mi.mu.Lock()
+	if mi.destroyed {
+		mi.mu.Unlock()
+		return errors.New("provider: instance destroyed")
+	}
+	mi.mu.Unlock()
+	var firstErr error
+	for i, id := range mi.parts {
+		if id == 0 {
+			continue
+		}
+		if err := mi.m.networks[i].Recompose(id, img); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("provider: network %d: %w", i, err)
+		}
+	}
+	return firstErr
 }
 
 // Destroy dismantles every part.

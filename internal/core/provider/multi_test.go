@@ -57,14 +57,14 @@ func feedIdle(clk *simtime.Sim, c *controller.Controller, from, to uint64) {
 }
 
 func TestSplitExactAndProportional(t *testing.T) {
-	got := split(10, []int{30, 10})
+	got := Split(10, []int{30, 10})
 	if got[0]+got[1] != 10 {
 		t.Fatalf("split not exact: %v", got)
 	}
 	if got[0] != 8 && got[0] != 7 {
 		t.Fatalf("split not proportional: %v", got)
 	}
-	even := split(10, []int{0, 0, 0})
+	even := Split(10, []int{0, 0, 0})
 	if even[0]+even[1]+even[2] != 10 {
 		t.Fatalf("even split not exact: %v", even)
 	}
@@ -83,7 +83,7 @@ func TestSplitProperty(t *testing.T) {
 		for i, w := range raw {
 			weights[i] = int(w)
 		}
-		out := split(int(target), weights)
+		out := Split(int(target), weights)
 		sum := 0
 		for _, v := range out {
 			if v < 0 {

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sync"
 
+	"oddci/internal/appimage"
 	"oddci/internal/core/controller"
 	"oddci/internal/core/instance"
 )
@@ -100,6 +101,19 @@ func (i *Instance) Resize(target int) error {
 	}
 	i.mu.Unlock()
 	return i.p.controller().Resize(i.id, target)
+}
+
+// Recompose replaces the instance's application image in place; live
+// members receive the new content as a delta (carousel module hashes on
+// the broadcast plane, delta_img chunks on TCP).
+func (i *Instance) Recompose(img *appimage.Image) error {
+	i.mu.Lock()
+	if i.destroyed {
+		i.mu.Unlock()
+		return errors.New("provider: instance destroyed")
+	}
+	i.mu.Unlock()
+	return i.p.controller().Recompose(i.id, img)
 }
 
 // Destroyed reports whether Destroy has been called on this handle.

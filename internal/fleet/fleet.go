@@ -276,6 +276,12 @@ type engine struct {
 	availTicks, rampTicks []int64
 	availIdx, rampIdx     int
 	res                   *Result
+
+	// ext, when non-nil, overlays the sharded-coordinator view on the
+	// node dynamics (see sharded.go). Node behavior is identical with
+	// and without it: the broadcast plane does not depend on which
+	// coordinator shard consolidates a node's heartbeats.
+	ext *shardExt
 }
 
 // Run executes one fleet simulation and returns its (self-validating)
@@ -497,6 +503,9 @@ func (e *engine) powerOff(tick int64, id int32) {
 		if e.phase[id]&flagDirect != 0 {
 			e.directOn--
 		}
+		if e.ext != nil {
+			e.ext.onLeave(id)
+		}
 	}
 	e.phase[id] = phaseOff
 	e.setDeadline(id, e.clampTick(tick+e.expTicks(&e.rng[id], e.meanOffSec)))
@@ -513,6 +522,9 @@ func (e *engine) drainJoins(tick int64) {
 		e.phase[id] = phaseJoined | e.phase[id]&flagDirect
 		e.setDeadline(id, e.offAt[id])
 		e.joined++
+		if e.ext != nil {
+			e.ext.onJoin(id)
+		}
 		if e.phase[id]&flagDirect != 0 {
 			e.directOn++
 			e.directJoins++
@@ -532,6 +544,11 @@ func (e *engine) sentinel(tick int64, id int32) {
 	case idRamp:
 		e.sampleRamp(tick)
 	default:
+		// Sharded-overlay sentinels sit far below the cohort range;
+		// give the extension first refusal before the cohort decode.
+		if e.ext != nil && e.ext.sentinel(tick, id) {
+			return
+		}
 		e.heartbeat(tick, idCohortBase-id)
 	}
 }
@@ -549,6 +566,9 @@ func (e *engine) wakeup(tick int64) {
 		id := int32(i)
 		e.phase[i] = phaseLoading | flagDirect
 		e.setDeadline(id, min(tick+e.loadTicks(&e.rng[i]), e.offAt[i]))
+	}
+	if e.ext != nil {
+		e.ext.onWakeup()
 	}
 }
 

@@ -108,9 +108,10 @@ type InstanceRecord struct {
 
 // Record is one journal entry. Inst carries the full record for
 // OpCreate; the other ops use only the fields they mutate (ID always,
-// plus Seq/Wakeups/Probability for recompose, Seq/Resets/ResetTicks for
-// destroy, Target for resize). Fields are absolute values, never
-// deltas, which is what makes replay idempotent.
+// plus Seq/Wakeups/Probability — and, for image replacements, Image —
+// for recompose, Seq/Resets/ResetTicks for destroy, Target for resize).
+// Fields are absolute values, never deltas, which is what makes replay
+// idempotent.
 type Record struct {
 	Op   Op
 	Inst InstanceRecord
@@ -241,6 +242,15 @@ func appendRecordPayload(b []byte, r Record) ([]byte, error) {
 			return nil, fmt.Errorf("journal: probability %v out of [0,1]", r.Inst.Probability)
 		}
 		b = binary.BigEndian.AppendUint64(b, math.Float64bits(r.Inst.Probability))
+		// Image recompositions (Controller.Recompose) append the
+		// replacement image so replay re-enters the carousel with the new
+		// content. Maintenance recompositions (sequence bumps) leave it
+		// empty and keep the original fixed-size encoding, which old
+		// journals decode unchanged.
+		if len(r.Inst.Image) > 0 {
+			b = binary.BigEndian.AppendUint32(b, uint32(len(r.Inst.Image)))
+			b = append(b, r.Inst.Image...)
+		}
 		return b, nil
 	case OpDestroy:
 		b = binary.BigEndian.AppendUint64(b, r.Inst.ID)
@@ -294,6 +304,16 @@ func decodeRecordPayload(b []byte) (Record, error) {
 		r.Inst.Probability = math.Float64frombits(binary.BigEndian.Uint64(b[16:]))
 		if r.Inst.Probability < 0 || r.Inst.Probability > 1 || math.IsNaN(r.Inst.Probability) {
 			return Record{}, fmt.Errorf("%w: probability out of range", ErrCorrupt)
+		}
+		if rest := b[24:]; len(rest) > 0 {
+			if len(rest) < 4 {
+				return Record{}, fmt.Errorf("%w: short recompose image header", ErrCorrupt)
+			}
+			n := int(binary.BigEndian.Uint32(rest))
+			if n == 0 || len(rest[4:]) != n {
+				return Record{}, fmt.Errorf("%w: recompose image length %d vs %d payload bytes", ErrCorrupt, n, len(rest[4:]))
+			}
+			r.Inst.Image = append([]byte(nil), rest[4:]...)
 		}
 	case OpDestroy:
 		if err := need(20); err != nil {
@@ -474,6 +494,9 @@ func (s *State) Apply(r Record) {
 			st.Seq = r.Inst.Seq
 			st.Wakeups = r.Inst.Wakeups
 			st.Probability = r.Inst.Probability
+			if len(r.Inst.Image) > 0 {
+				st.Image = append([]byte(nil), r.Inst.Image...)
+			}
 		}
 	case OpDestroy:
 		if st, ok := s.Instances[r.Inst.ID]; ok && !st.Destroyed {

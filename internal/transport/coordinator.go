@@ -57,6 +57,11 @@ type CoordinatorConfig struct {
 	// plane), node sessions record under it, and the backend closes
 	// each task's tree with dispatch/lease-expiry/commit spans.
 	Spans *span.Collector
+	// Shard identifies this coordinator's slice of a federated control
+	// plane; it rides in the banner so nodes can confirm which shard
+	// answered. 0 (the default) is also the first shard id — single-
+	// coordinator deployments simply never check it.
+	Shard int
 	// RetryAfter is the backend's no-task polling hint (default 1 s).
 	RetryAfter time.Duration
 	// LeaseBase is the backend's minimum task lease (default 30 s);
@@ -415,6 +420,7 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	bannerRaw, err := json.Marshal(&Banner{
 		ControllerKey: c.pub, Name: cfg.Name, TaskBin: true,
 		TraceCtx: cfg.Spans != nil, Trace: c.wakeupCtx, DeltaImg: true,
+		Shard: cfg.Shard,
 	})
 	if err != nil {
 		c.Close()

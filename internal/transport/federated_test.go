@@ -1,0 +1,172 @@
+package transport
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"oddci/internal/federation"
+)
+
+// shardRig starts one loopback coordinator per shard, each announcing
+// its shard id in the banner and holding a small job so nodes drain
+// and exit.
+func shardRig(t *testing.T, shards int) []*Coordinator {
+	t.Helper()
+	coords := make([]*Coordinator, shards)
+	for s := 0; s < shards; s++ {
+		c, err := NewCoordinator(CoordinatorConfig{
+			Listen: "127.0.0.1:0",
+			Name:   "fed",
+			Image:  testImage(),
+			Shard:  s,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(c.Close)
+		go c.Serve()
+		if _, err := c.Submit(testJob(t, 2)); err != nil {
+			t.Fatal(err)
+		}
+		coords[s] = c
+	}
+	return coords
+}
+
+// idOwnedBy scans node ids for one whose ring home is shard s.
+func idOwnedBy(t *testing.T, ring *federation.Ring, s federation.ShardID) uint64 {
+	t.Helper()
+	for id := uint64(1); id < 10000; id++ {
+		if ring.Owner(id) == s {
+			return id
+		}
+	}
+	t.Fatalf("no node id owned by shard %d in probe range", s)
+	return 0
+}
+
+func TestFederatedNodeHomePlacement(t *testing.T) {
+	const shards = 3
+	coords := shardRig(t, shards)
+	addrs := make([]string, shards)
+	for s, c := range coords {
+		addrs[s] = c.Addr()
+	}
+	ring, err := federation.NewRing(shards, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := federation.ShardID(0); s < shards; s++ {
+		id := idOwnedBy(t, ring, s)
+		rep, err := RunFederatedNode(FederatedNodeConfig{
+			NodeConfig: NodeConfig{NodeID: id, TimeScale: 500, Seed: 7},
+			ShardAddrs: addrs,
+		})
+		if err != nil {
+			t.Fatalf("shard %d node %d: %v", s, id, err)
+		}
+		if !rep.Joined {
+			t.Fatalf("node %d never joined", id)
+		}
+		if rep.HomeShard != s || rep.ServedBy != s || rep.Handoffs != 0 {
+			t.Fatalf("node %d placement: home=%d served=%d handoffs=%d, want home shard %d",
+				id, rep.HomeShard, rep.ServedBy, rep.Handoffs, s)
+		}
+		if rep.BannerShard != int(s) {
+			t.Fatalf("banner shard %d, want %d", rep.BannerShard, s)
+		}
+	}
+}
+
+// TestFederatedNodeHandoff: the home coordinator is unreachable, so the
+// agent walks the ring and lands on the home shard's successor — the
+// same shard that would replay the home's journal at failover.
+func TestFederatedNodeHandoff(t *testing.T) {
+	const shards = 3
+	ring, err := federation.NewRing(shards, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const down = federation.ShardID(1)
+	id := idOwnedBy(t, ring, down)
+	succ := ring.Successor(down)
+
+	// A listener opened and immediately closed yields an address that
+	// refuses connections — the dead home shard.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := l.Addr().String()
+	l.Close()
+
+	addrs := make([]string, shards)
+	for s := 0; s < shards; s++ {
+		if federation.ShardID(s) == down {
+			addrs[s] = deadAddr
+			continue
+		}
+		c, err := NewCoordinator(CoordinatorConfig{
+			Listen: "127.0.0.1:0", Name: "fed", Image: testImage(), Shard: s,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(c.Close)
+		go c.Serve()
+		if _, err := c.Submit(testJob(t, 2)); err != nil {
+			t.Fatal(err)
+		}
+		addrs[s] = c.Addr()
+	}
+
+	rep, err := RunFederatedNode(FederatedNodeConfig{
+		NodeConfig: NodeConfig{NodeID: id, TimeScale: 500, Seed: 7},
+		ShardAddrs: addrs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Joined {
+		t.Fatal("handed-off node never joined")
+	}
+	if rep.HomeShard != down || rep.ServedBy != succ || rep.Handoffs != 1 {
+		t.Fatalf("handoff placement: home=%d served=%d handoffs=%d, want served by successor %d after 1 handoff",
+			rep.HomeShard, rep.ServedBy, rep.Handoffs, succ)
+	}
+	if rep.BannerShard != int(succ) {
+		t.Fatalf("banner shard %d, want successor %d", rep.BannerShard, succ)
+	}
+}
+
+func TestFederatedNodeAllShardsDown(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := l.Addr().String()
+	l.Close()
+
+	start := time.Now()
+	_, err = RunFederatedNode(FederatedNodeConfig{
+		NodeConfig: NodeConfig{NodeID: 1},
+		ShardAddrs: []string{deadAddr, deadAddr},
+	})
+	if err == nil {
+		t.Fatal("all shards down yet the agent joined")
+	}
+	if !strings.Contains(err.Error(), "all 2 shards unreachable") {
+		t.Fatalf("error lacks handoff context: %v", err)
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatal("dead-shard walk took too long")
+	}
+
+	if _, err := RunFederatedNode(FederatedNodeConfig{
+		NodeConfig: NodeConfig{NodeID: 1},
+	}); err == nil {
+		t.Fatal("empty shard list accepted")
+	}
+}

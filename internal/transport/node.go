@@ -78,6 +78,9 @@ type NodeReport struct {
 	// Restages counts mid-session image updates this node assembled and
 	// verified from pushed delta chunks.
 	Restages int
+	// BannerShard echoes the serving coordinator's federation shard id
+	// from its banner (0 for unsharded coordinators).
+	BannerShard int
 }
 
 // RunNode connects, obeys the broadcast control plane, executes tasks
@@ -131,6 +134,7 @@ func RunNode(cfg NodeConfig) (report NodeReport, err error) {
 	// FrameImage push.
 	deltaOK := banner.DeltaImg && !cfg.ForceFullImage
 	report.DeltaImage = deltaOK
+	report.BannerShard = banner.Shard
 	nodeName := fmt.Sprintf("node-%d", cfg.NodeID)
 	// The join span parents under the coordinator's wakeup broadcast
 	// (its context rides in the banner), covering control verification

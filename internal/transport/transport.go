@@ -130,6 +130,10 @@ type Banner struct {
 	// like TaskBin: the node only hears manifest/chunk frames after its
 	// hello echoed the capability back.
 	DeltaImg bool `json:"delta_img,omitempty"`
+	// Shard identifies this coordinator's slice of a federated control
+	// plane (federation.ShardID). Single-coordinator deployments omit
+	// it; old nodes parse it as an unknown field and ignore it.
+	Shard int `json:"shard,omitempty"`
 }
 
 // ImageFile is one carousel file pushed to nodes.
